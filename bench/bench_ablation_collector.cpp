@@ -1,0 +1,109 @@
+// Ablation: collector polling period vs estimate quality vs overhead.
+//
+// The SNMP collector sees the network only through counter deltas, so its
+// period sets a sampling floor: bursts shorter than a period smear into
+// the average.  This bench runs on-off traffic (true mean 30 Mbps, peaks
+// of 60) against polling periods from 0.5 s to 16 s and reports the
+// measured median/quartiles plus the management traffic each period
+// costs.  It also contrasts the passive SNMP collector with the active
+// benchmark collector, whose probes cost simulated seconds instead of
+// datagrams (the measurement *perturbs* the network).
+#include <iostream>
+
+#include "apps/harness.hpp"
+#include "bench/bench_common.hpp"
+#include "collector/benchmark_collector.hpp"
+#include "netsim/traffic.hpp"
+
+int main() {
+  using namespace remos;
+  using bench::row;
+  using bench::rule;
+
+  std::cout << "Ablation: polling period vs estimate fidelity "
+               "(on-off traffic: 60 Mbps at 50% duty, true mean 30)\n\n";
+  const std::vector<int> w{10, 9, 9, 9, 9, 12, 13};
+  row({"period s", "q1", "median", "q3", "mean", "mgmt kbit/s",
+       "wire dgrams"},
+      w);
+  rule(w);
+
+  for (const double period : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    apps::CmuHarness::Options o;
+    o.poll_period = period;
+    apps::CmuHarness harness(o);
+    harness.start(2.0);
+    netsim::OnOffTraffic::Config cfg;
+    cfg.rate = mbps(60);
+    cfg.mean_on = 3.0;
+    cfg.mean_off = 3.0;
+    cfg.seed = 77;
+    netsim::OnOffTraffic gen(harness.sim(),
+                             harness.sim().topology().id_of("m-4"),
+                             harness.sim().topology().id_of("m-5"), cfg);
+    const double kRun = 240.0;
+    harness.sim().run_for(kRun);
+
+    bool flipped = false;
+    const auto* link =
+        harness.collector().model().find_link("m-4", "timberline", &flipped);
+    const Measurement m = link->history.used_measurement(
+        harness.sim().now(), kRun, !flipped);
+    const auto& t = harness.transport();
+    row({fixed(period, 1), fixed(to_mbps(m.quartiles.q1), 1),
+         fixed(to_mbps(m.quartiles.median), 1),
+         fixed(to_mbps(m.quartiles.q3), 1), fixed(to_mbps(m.mean), 1),
+         fixed(static_cast<double>(t.bytes_sent()) * 8.0 /
+                   harness.sim().now() / 1e3,
+               1),
+         std::to_string(t.datagrams_sent())},
+        w);
+  }
+
+  std::cout << "\nShort periods resolve the on/off bimodality (q1 near 0, "
+               "q3 near 60); long periods\nsmear everything toward the "
+               "30 Mbps mean while costing proportionally less\n"
+               "management traffic.  The mean column is period-invariant "
+               "-- only the shape degrades.\n\n";
+
+  std::cout << "Active benchmark collector on the same traffic "
+               "(probe = 256 KiB bulk transfer):\n\n";
+  const std::vector<int> w2{10, 12, 14, 16};
+  row({"round", "m-4/m-5 est", "true avail now", "probe cost s"}, w2);
+  rule(w2);
+  {
+    apps::CmuHarness harness;  // SNMP side unused; we need the simulator
+    harness.start(2.0);
+    netsim::OnOffTraffic::Config cfg;
+    cfg.rate = mbps(60);
+    cfg.mean_on = 3.0;
+    cfg.mean_off = 3.0;
+    cfg.seed = 77;
+    netsim::OnOffTraffic gen(harness.sim(),
+                             harness.sim().topology().id_of("m-4"),
+                             harness.sim().topology().id_of("m-5"), cfg);
+    collector::BenchmarkCollector probes(harness.sim(), {"m-4", "m-5"});
+    probes.discover();
+    for (int round = 1; round <= 6; ++round) {
+      harness.sim().run_for(10.0);
+      const double truth =
+          mbps(100) - harness.sim().link_tx_rate(
+                          harness.sim().topology().link_between(
+                              harness.sim().topology().id_of("m-4"),
+                              harness.sim().topology().id_of("timberline")),
+                          true);
+      probes.poll();
+      const auto* l = probes.model().find_link("m-4", "m-5");
+      const collector::Sample& s = l->history.latest();
+      row({std::to_string(round),
+           fixed(to_mbps(l->capacity - std::max(s.used_ab, s.used_ba)), 1),
+           fixed(to_mbps(truth), 1),
+           fixed(probes.last_poll_duration(), 3)},
+          w2);
+    }
+  }
+  std::cout << "\nThe active probe tracks availability without SNMP "
+               "access but spends simulated\nseconds (and competes with "
+               "real traffic) for every sample.\n";
+  return 0;
+}

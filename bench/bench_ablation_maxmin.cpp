@@ -1,0 +1,85 @@
+// Microbenchmark: the exact weighted max-min (water-filling) solver.
+//
+// DESIGN.md calls out exact progressive filling as a design choice over
+// approximate sharing estimates; this bench shows its cost stays
+// negligible at testbed-relevant scales and grows gently with flows and
+// resources, justifying re-solving on every simulator event and every
+// flow query.
+#include <benchmark/benchmark.h>
+
+#include "netsim/maxmin.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace remos;
+using netsim::MaxMinFlow;
+
+struct Instance {
+  std::vector<double> capacity;
+  std::vector<MaxMinFlow> flows;
+};
+
+Instance random_instance(std::size_t resources, std::size_t flows,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  Instance inst;
+  inst.capacity.resize(resources);
+  for (auto& c : inst.capacity) c = rng.uniform(10.0, 1000.0);
+  inst.flows.resize(flows);
+  for (auto& f : inst.flows) {
+    const std::size_t touches = 1 + rng.below(std::min<std::size_t>(
+                                        resources, 6));  // path length
+    for (std::size_t k = 0; k < touches; ++k) {
+      const std::size_t r = rng.below(resources);
+      if (std::find(f.resources.begin(), f.resources.end(), r) ==
+          f.resources.end())
+        f.resources.push_back(r);
+    }
+    f.weight = rng.uniform(0.5, 2.0);
+    if (rng.chance(0.25)) f.rate_cap = rng.uniform(1.0, 100.0);
+  }
+  return inst;
+}
+
+void BM_MaxMin(benchmark::State& state) {
+  const auto resources = static_cast<std::size_t>(state.range(0));
+  const auto flows = static_cast<std::size_t>(state.range(1));
+  const Instance inst = random_instance(resources, flows, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        netsim::max_min_allocate(inst.capacity, inst.flows));
+  }
+  state.SetComplexityN(state.range(1));
+}
+BENCHMARK(BM_MaxMin)
+    ->Args({8, 4})       // one busy router
+    ->Args({22, 12})     // the CMU testbed under a parallel app
+    ->Args({64, 64})
+    ->Args({256, 256})
+    ->Args({256, 1024});
+
+// The testbed case the simulator hits on every flow start/stop during a
+// Table 2 run: 22 directed links + a handful of flows.
+void BM_MaxMinTestbedEvent(benchmark::State& state) {
+  const Instance inst = random_instance(22, 14, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        netsim::max_min_allocate(inst.capacity, inst.flows));
+  }
+}
+BENCHMARK(BM_MaxMinTestbedEvent);
+
+void BM_MaxMinFairnessCheck(benchmark::State& state) {
+  const Instance inst = random_instance(64, 64, 9);
+  const auto result = netsim::max_min_allocate(inst.capacity, inst.flows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netsim::is_max_min_fair(
+        inst.capacity, inst.flows, result.rates));
+  }
+}
+BENCHMARK(BM_MaxMinFairnessCheck);
+
+}  // namespace
+
+BENCHMARK_MAIN();

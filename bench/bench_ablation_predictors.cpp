@@ -1,0 +1,124 @@
+// Ablation: predictors for kFuture queries across traffic shapes.
+//
+// §4.4 allows "a simplistic model to predict future performance from
+// current and historical data" -- but which one?  This bench collects the
+// SNMP collector's per-link usage series under three canonical shapes
+// (CBR, on-off bursts, Poisson transfer mix) and scores each predictor's
+// point forecast (median) against the realized mean usage over the next
+// 10 s, as mean absolute error in Mbps.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "apps/harness.hpp"
+#include "bench/bench_common.hpp"
+#include "core/predictor.hpp"
+#include "netsim/traffic.hpp"
+
+namespace {
+
+using namespace remos;
+
+std::vector<core::TimedSample> series_for(
+    const std::string& shape, std::uint64_t seed,
+    std::vector<std::pair<Seconds, double>>* future_truth) {
+  apps::CmuHarness harness;
+  harness.start(2.0);
+  netsim::Simulator& sim = harness.sim();
+  const auto src = sim.topology().id_of("m-4");
+  const auto dst = sim.topology().id_of("m-5");
+
+  std::unique_ptr<netsim::CbrTraffic> cbr;
+  std::unique_ptr<netsim::OnOffTraffic> onoff;
+  std::unique_ptr<netsim::PoissonTransfers> poisson;
+  if (shape == "cbr") {
+    cbr = std::make_unique<netsim::CbrTraffic>(sim, src, dst, mbps(40));
+  } else if (shape == "on-off") {
+    netsim::OnOffTraffic::Config cfg;
+    cfg.rate = mbps(60);
+    cfg.mean_on = 4.0;
+    cfg.mean_off = 4.0;
+    cfg.seed = seed;
+    onoff = std::make_unique<netsim::OnOffTraffic>(sim, src, dst, cfg);
+  } else {
+    netsim::PoissonTransfers::Config cfg;
+    cfg.arrivals_per_sec = 1.5;
+    cfg.mean_size = 2e6;
+    cfg.seed = seed;
+    poisson = std::make_unique<netsim::PoissonTransfers>(sim, src, dst, cfg);
+  }
+  sim.run_for(400.0);
+
+  // Collector's view of the m-4 uplink.
+  bool flipped = false;
+  const auto* link =
+      harness.collector().model().find_link("m-4", "timberline", &flipped);
+  std::vector<core::TimedSample> out;
+  for (std::size_t i = 0; i < link->history.size(); ++i) {
+    const collector::Sample& s = link->history.sample(i);
+    out.push_back(
+        core::TimedSample{s.at, flipped ? s.used_ba : s.used_ab});
+  }
+  // "Truth" for horizon scoring: mean usage over (t, t+10] from the same
+  // series (the collector samples densely enough at 2 s polls).
+  for (std::size_t i = 0; i + 5 < out.size(); ++i) {
+    double sum = 0;
+    for (std::size_t k = 1; k <= 5; ++k) sum += out[i + k].value;
+    future_truth->push_back({out[i].at, sum / 5.0});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using bench::row;
+  using bench::rule;
+
+  std::vector<std::unique_ptr<core::Predictor>> predictors;
+  predictors.push_back(std::make_unique<core::LastValuePredictor>());
+  predictors.push_back(std::make_unique<core::WindowMeanPredictor>());
+  predictors.push_back(std::make_unique<core::EwmaPredictor>(0.3));
+  predictors.push_back(std::make_unique<core::EwmaPredictor>(0.8));
+
+  std::cout << "Ablation: forecast error (MAE, Mbps) of the next-10 s "
+               "mean usage, per traffic shape\n(30 s history window, "
+               "2 s polls, 400 s runs)\n\n";
+  std::vector<int> w{10};
+  std::vector<std::string> header{"shape"};
+  for (const auto& p : predictors) {
+    header.push_back(p->name());
+    w.push_back(13);
+  }
+  row(header, w);
+  rule(w);
+
+  for (const std::string shape : {"cbr", "on-off", "poisson"}) {
+    std::vector<std::pair<Seconds, double>> truth;
+    const auto series = series_for(shape, 5, &truth);
+    std::vector<std::string> cells{shape};
+    for (const auto& p : predictors) {
+      double abs_err = 0;
+      std::size_t scored = 0;
+      for (const auto& [at, actual] : truth) {
+        // History window: samples in (at-30, at].
+        std::vector<core::TimedSample> window;
+        for (const auto& s : series)
+          if (s.at > at - 30.0 && s.at <= at) window.push_back(s);
+        if (window.size() < 3) continue;
+        const Measurement forecast = p->predict(window);
+        abs_err += std::abs(forecast.quartiles.median - actual);
+        ++scored;
+      }
+      cells.push_back(
+          fixed(to_mbps(abs_err / static_cast<double>(scored)), 2));
+    }
+    row(cells, w);
+  }
+  std::cout << "\nExpectation: on CBR everything is exact; on bursts the "
+               "smoothers beat last-value\n(which chases the current "
+               "burst state); the heavy-tailed mix favors wider\n"
+               "smoothing.  This motivates EWMA as the default kFuture "
+               "predictor.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 1 -- "Remos graph representing the structure of a simple
+// network."  The same logical graph describes very different physical
+// networks depending on the *node* performance annotation: with 100 Mbps
+// switch backplanes the 10 Mbps access links govern (hosts 1-4 can push
+// 40 Mbps aggregate to hosts 5-8); with 10 Mbps backplanes the two
+// network nodes themselves bottleneck everything at 10 Mbps -- which is
+// also how Remos models two shared 10 Mbps Ethernets joined by a fast
+// uplink.  This bench reproduces both readings via flow queries.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "collector/static_collector.hpp"
+#include "core/modeler.hpp"
+
+namespace {
+
+using namespace remos;
+
+collector::NetworkModel figure1_model(BitsPerSec backplane) {
+  collector::NetworkModel m;
+  m.upsert_node("A", true).internal_bw = backplane;
+  m.upsert_node("B", true).internal_bw = backplane;
+  for (int i = 1; i <= 8; ++i) {
+    const std::string host = std::to_string(i);
+    m.upsert_node(host, false);
+    m.upsert_link(host, i <= 4 ? "A" : "B", mbps(10), millis(0.2));
+  }
+  m.upsert_link("A", "B", mbps(100), millis(0.2));
+  return m;
+}
+
+void evaluate(BitsPerSec backplane, const char* reading) {
+  collector::StaticCollector source(figure1_model(backplane));
+  core::Modeler modeler(source);
+
+  std::cout << "--- internal bandwidth of A and B: "
+            << to_mbps(backplane) << " Mbps (" << reading << ") ---\n";
+  const core::NetworkGraph g = modeler.get_graph(
+      {"1", "2", "3", "4", "5", "6", "7", "8"}, core::Timeframe::statics());
+  std::cout << g.to_string() << "\n";
+
+  core::FlowQuery q;
+  for (int i = 1; i <= 4; ++i)
+    q.variable.push_back(core::FlowRequest{std::to_string(i),
+                                           std::to_string(i + 4), 1.0});
+  q.timeframe = core::Timeframe::statics();
+  const core::FlowQueryResult r = modeler.flow_info(q);
+  double total = 0;
+  for (const core::FlowResult& f : r.variable) {
+    std::cout << "  flow " << f.request.src << " -> " << f.request.dst
+              << ": " << to_mbps(f.bandwidth.quartiles.median) << " Mbps\n";
+    total += f.bandwidth.quartiles.median;
+  }
+  std::cout << "  aggregate 1-4 -> 5-8: " << to_mbps(total) << " Mbps\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Figure 1: one logical graph, two physical readings\n\n";
+  evaluate(mbps(100),
+           "switched LAN: access links are the constraint; expect 4 x 10 "
+           "= 40 Mbps");
+  evaluate(mbps(10),
+           "two shared 10 Mbps Ethernets: network nodes are the "
+           "constraint; expect 10 Mbps");
+  std::cout << "Expectation (paper, section 4.3): the identical topology "
+               "yields 40 vs 10 Mbps\naggregate purely from the node "
+               "annotation -- why Remos annotates nodes, not just\n"
+               "links.\n";
+  return 0;
+}

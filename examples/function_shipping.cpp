@@ -1,0 +1,105 @@
+// Function/data shipping (usage model from paper §2): a client on m-1
+// holds 200 MB of input for a simulation and must decide -- run locally,
+// or ship the data to a compute server and pull results back?  The
+// tradeoff depends on network *and* compute availability, both of which
+// Remos reports: flow queries give transfer bandwidth, host info gives
+// CPU load.  The example evaluates the cost model under three conditions
+// and shows the decision flipping.
+//
+//   ./function_shipping
+#include <iostream>
+#include <memory>
+
+#include "apps/harness.hpp"
+#include "core/remos_api.hpp"
+#include "netsim/traffic.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace remos;
+
+constexpr Bytes kInputBytes = 200e6;
+constexpr Bytes kOutputBytes = 20e6;
+constexpr Seconds kWorkSeconds = 120;  // on one idle reference CPU
+
+struct Estimate {
+  std::string where;
+  Seconds total;
+  std::string detail;
+};
+
+Estimate local_estimate(apps::CmuHarness& harness) {
+  const double speed = harness.sim().effective_speed(
+      harness.sim().topology().id_of("m-1"));
+  return {"local m-1", kWorkSeconds / speed,
+          "compute only, at " + fixed(speed * 100, 0) + "% speed"};
+}
+
+Estimate remote_estimate(apps::CmuHarness& harness,
+                         const std::string& server) {
+  // One simultaneous query: upload and download as variable flows (they
+  // do not overlap in time, but this bounds both with one round-trip to
+  // the Modeler; a fussier client could issue two queries).
+  const auto r = remos_flow_info(
+      harness.modeler(), {},
+      {core::FlowRequest{"m-1", server, 1.0},
+       core::FlowRequest{server, "m-1", 1.0}},
+      std::nullopt, core::Timeframe::history(10.0));
+  const double up = r.variable[0].bandwidth.quartiles.q1;    // conservative
+  const double down = r.variable[1].bandwidth.quartiles.q1;
+  const auto g = harness.modeler().get_graph({"m-1", server},
+                                             core::Timeframe::current());
+  const double load = g.node(server).has_host_info ? g.node(server).cpu_load
+                                                   : 0.0;
+  const double speed = 1.0 - load;
+  if (up <= 0 || down <= 0 || speed <= 0)
+    return {server, std::numeric_limits<double>::infinity(), "unusable"};
+  const Seconds total = kInputBytes * 8 / up + kWorkSeconds / speed +
+                        kOutputBytes * 8 / down;
+  return {server, total,
+          "ship " + fixed(to_mbps(up), 0) + "/" + fixed(to_mbps(down), 0) +
+              " Mbps, cpu " + fixed(speed * 100, 0) + "%"};
+}
+
+void decide(apps::CmuHarness& harness, const char* situation) {
+  std::cout << "--- " << situation << " ---\n";
+  std::vector<Estimate> options{local_estimate(harness)};
+  for (const std::string server : {"m-4", "m-7"})
+    options.push_back(remote_estimate(harness, server));
+  const Estimate* best = &options[0];
+  for (const Estimate& e : options) {
+    std::cout << "  " << pad_right(e.where, 12)
+              << pad_left(fixed(e.total, 1), 8) << " s   (" << e.detail
+              << ")\n";
+    if (e.total < best->total) best = &e;
+  }
+  std::cout << "  => run on " << best->where << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  apps::CmuHarness harness;
+  harness.start(6.0);
+  netsim::Simulator& sim = harness.sim();
+  auto id = [&](const char* n) { return sim.topology().id_of(n); };
+
+  // The client workstation is half-busy (its user is working);
+  // the servers start idle.
+  sim.set_cpu_load(id("m-1"), 0.5);
+  sim.run_for(6.0);
+  decide(harness, "idle network, idle servers: shipping wins");
+
+  // A batch job lands on m-4.
+  sim.set_cpu_load(id("m-4"), 0.85);
+  sim.run_for(6.0);
+  decide(harness, "m-4 busy: the decision moves to m-7");
+
+  // Heavy traffic floods the path to m-7 as well.
+  netsim::CbrTraffic blast(sim, "m-3", "m-7", mbps(95), 120.0);
+  sim.run_for(12.0);
+  decide(harness,
+         "m-4 busy AND m-7's path congested: local execution wins");
+  return 0;
+}

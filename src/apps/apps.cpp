@@ -1,0 +1,90 @@
+#include "apps/apps.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace remos::apps {
+
+fx::AppModel make_fft(std::size_t n, std::size_t chunks) {
+  if (n < 2) throw InvalidArgument("make_fft: n too small");
+  fx::AppModel app;
+  app.name = "fft-" + std::to_string(n);
+  app.iterations = 1;
+  app.chunks = chunks;
+
+  // Sequential compute time, power-law fitted to the paper's two sizes:
+  // T_seq(512) = 0.84 s and T_seq(1024) = 4.92 s back out of Table 1's
+  // two-node runs after subtracting transpose time.  The implied exponent
+  // (~2.55, above N^2 log N's effective 2.15) reflects the 1998 Alphas
+  // falling out of cache at 1K -- we reproduce the measured scaling, not
+  // the idealized one.
+  const double nn = static_cast<double>(n);
+  const Seconds seq = 0.84 * std::pow(nn / 512.0, 2.55);
+
+  // Transpose volume: the whole complex dataset (8 B/point).
+  const Bytes dataset = nn * nn * 8.0;
+
+  fx::ComputePhase rows;
+  rows.parallel_seconds = seq / 2;
+  fx::CommPhase transpose;
+  transpose.pattern = fx::Pattern::kAllToAll;
+  transpose.volume = dataset;
+  fx::ComputePhase cols;
+  cols.parallel_seconds = seq / 2;
+
+  app.phases = {rows, transpose, cols};
+  return app;
+}
+
+fx::AppModel make_airshed(std::size_t hours, std::size_t chunks) {
+  if (hours == 0) throw InvalidArgument("make_airshed: zero iterations");
+  fx::AppModel app;
+  app.name = "airshed";
+  app.iterations = hours;
+  app.chunks = chunks;
+  // Task-multiplexing cost, calibrated to Table 3's fixed/no-traffic row
+  // (the 8-chunk build on 5 nodes ran ~862 s vs 650 s native; load
+  // imbalance explains ~100 s, the rest is Fx running multiple logical
+  // tasks per node).  Two compute phases per iteration share the charge.
+  app.task_multiplex_overhead = 2.6;
+
+  // Fitted to T(3 nodes) = 908 s, T(5 nodes) = 650 s on a dedicated
+  // network: T = a/n + b with a = 1935 s, b = 263 s gives, per iteration
+  // (24 of them): parallel = 80.6 s, serial + comm = 11 s.
+  const double per_iter_parallel = 1935.0 / 24.0;  // seconds, sequential
+  const double per_iter_serial = 8.2;              // non-parallelizable
+
+  // Transport step: exchange boundary/advection data -- the dominant
+  // communication (about 100 MB per simulated hour across the domain
+  // decomposition).
+  fx::CommPhase transport;
+  transport.pattern = fx::Pattern::kAllToAll;
+  transport.volume = 100e6;
+
+  // Chemistry: embarrassingly parallel, most of the compute.
+  fx::ComputePhase chemistry;
+  chemistry.parallel_seconds = per_iter_parallel * 0.7;
+  chemistry.serial_seconds = per_iter_serial * 0.5;
+
+  // Meteorology update broadcast to all workers.
+  fx::CommPhase met;
+  met.pattern = fx::Pattern::kBroadcast;
+  met.volume = 8e6;
+
+  // Transport/diffusion compute.
+  fx::ComputePhase transport_compute;
+  transport_compute.parallel_seconds = per_iter_parallel * 0.3;
+  transport_compute.serial_seconds = per_iter_serial * 0.5;
+
+  // Concentration statistics gathered for output.
+  fx::CommPhase stats;
+  stats.pattern = fx::Pattern::kReduce;
+  stats.volume = 4e6;
+
+  app.phases = {met, chemistry, transport, transport_compute, stats};
+  return app;
+}
+
+}  // namespace remos::apps

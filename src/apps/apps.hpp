@@ -1,0 +1,35 @@
+// The applications of the paper's evaluation (§8), as AppModels.
+//
+// * FFT: a two-dimensional FFT "parallelized such that it consists of a
+//   set of independent 1-D row FFTs, followed by a transpose, and a set
+//   of independent 1-D column FFTs".  The transpose is an all-to-all of
+//   the full N*N complex dataset.
+// * Airshed: the CMU pollution model -- "a rich set of computation and
+//   communication operations" simulating chemistry and transport.  We
+//   model one outer iteration (a simulated time step) as transport
+//   exchange (all-to-all), chemistry compute, field broadcast and a
+//   statistics reduce, with a non-parallelizable serial fraction.
+//
+// Calibration: the compute constants are fitted to the paper's
+// dedicated-network measurements (Table 1: FFT(512)/2n = 0.462 s,
+// FFT(1K)/2n = 2.63 s, Airshed/3n = 908 s, Airshed/5n = 650 s) on the
+// simulated testbed's reference CPU.  The *shapes* -- scaling with node
+// count and sensitivity to link congestion -- then follow from the model
+// rather than from further fitting.
+#pragma once
+
+#include <cstddef>
+
+#include "fx/app_model.hpp"
+
+namespace remos::apps {
+
+/// 2-D FFT of an n x n complex grid (paper: n = 512 and 1024).
+/// `chunks` pins the compile-time decomposition (0 = matches node count).
+fx::AppModel make_fft(std::size_t n, std::size_t chunks = 0);
+
+/// Airshed pollution model, `hours` outer iterations (default reproduces
+/// the paper's run length).
+fx::AppModel make_airshed(std::size_t hours = 24, std::size_t chunks = 0);
+
+}  // namespace remos::apps

@@ -1,0 +1,58 @@
+#include "apps/harness.hpp"
+
+#include "util/error.hpp"
+
+namespace remos::apps {
+
+namespace {
+
+snmp::Transport::Config transport_config(const CmuHarness::Options& o) {
+  snmp::Transport::Config cfg;
+  cfg.loss_probability = o.snmp_loss;
+  cfg.seed = o.seed;
+  return cfg;
+}
+
+}  // namespace
+
+CmuHarness::CmuHarness(Options options)
+    : sim_(netsim::make_cmu_testbed(options.link_rate)),
+      transport_(transport_config(options)),
+      collector_(transport_, netsim::CmuNames::routers()),
+      modeler_(collector_) {
+  // One agent per node; hosts optionally carry the host-resources group.
+  for (const netsim::Node& node : sim_.topology().nodes()) {
+    const bool is_host = node.kind == netsim::NodeKind::kCompute;
+    if (is_host && !options.host_agents) continue;
+    auto agent = std::make_unique<snmp::Agent>();
+    snmp::HostStats* hs = nullptr;
+    if (is_host) {
+      stats_.push_back(std::make_unique<snmp::HostStats>());
+      stat_names_.push_back(node.name);
+      hs = stats_.back().get();
+    }
+    snmp::populate_node_mib(*agent, sim_, node.id, hs);
+    agent->bind(transport_, snmp::agent_address(node.name));
+    agents_.push_back(std::move(agent));
+  }
+  modeler_.set_clock([this] { return sim_.now(); });
+  if (options.poll_period > 0)
+    collector_.start_polling(sim_, options.poll_period);
+}
+
+const std::vector<std::string>& CmuHarness::hosts() const {
+  return netsim::CmuNames::hosts();
+}
+
+void CmuHarness::start(Seconds warmup) {
+  collector_.discover();
+  sim_.run_for(warmup);
+}
+
+snmp::HostStats& CmuHarness::host_stats(const std::string& host) {
+  for (std::size_t i = 0; i < stat_names_.size(); ++i)
+    if (stat_names_[i] == host) return *stats_[i];
+  throw NotFoundError("CmuHarness: no host stats for " + host);
+}
+
+}  // namespace remos::apps

@@ -1,0 +1,69 @@
+// Experiment harness: the full Remos deployment on the simulated CMU
+// testbed, wired end-to-end exactly as Figure 2 prescribes --
+//
+//   Simulator (testbed) -> SNMP agents -> Transport -> SnmpCollector
+//                                                   -> Modeler -> queries
+//
+// Nothing in the query path reads simulator state directly; everything
+// flows through the encoded SNMP protocol, so experiments exercise the
+// same machinery an application would.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collector/snmp_collector.hpp"
+#include "core/modeler.hpp"
+#include "netsim/simulator.hpp"
+#include "netsim/testbeds.hpp"
+#include "snmp/agent.hpp"
+#include "snmp/mib2.hpp"
+#include "snmp/transport.hpp"
+
+namespace remos::apps {
+
+class CmuHarness {
+ public:
+  struct Options {
+    /// Collector polling period; the paper's Collector polls router
+    /// counters every few seconds.
+    Seconds poll_period = 2.0;
+    /// Datagram loss on the management network.
+    double snmp_loss = 0.0;
+    /// Run host agents (CPU/memory info) in addition to router agents.
+    bool host_agents = true;
+    BitsPerSec link_rate = mbps(100);
+    std::uint64_t seed = 0x51D;
+  };
+
+  explicit CmuHarness(Options options);
+  CmuHarness() : CmuHarness(Options{}) {}
+
+  netsim::Simulator& sim() { return sim_; }
+  snmp::Transport& transport() { return transport_; }
+  collector::SnmpCollector& collector() { return collector_; }
+  const core::Modeler& modeler() const { return modeler_; }
+  core::Modeler& modeler() { return modeler_; }
+
+  /// Host names (m-1..m-8).
+  const std::vector<std::string>& hosts() const;
+
+  /// Discovers the topology, starts periodic polling and advances the
+  /// clock through `warmup` seconds so histories have content.
+  void start(Seconds warmup = 6.0);
+
+  /// Mutable host-side stats (index matches hosts()).
+  snmp::HostStats& host_stats(const std::string& host);
+
+ private:
+  netsim::Simulator sim_;
+  snmp::Transport transport_;
+  std::vector<std::unique_ptr<snmp::Agent>> agents_;
+  std::vector<std::unique_ptr<snmp::HostStats>> stats_;
+  std::vector<std::string> stat_names_;
+  collector::SnmpCollector collector_;
+  core::Modeler modeler_;
+};
+
+}  // namespace remos::apps

@@ -1,0 +1,127 @@
+#include "cluster/clustering.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace remos::cluster {
+
+NodeCosts cpu_costs(const core::NetworkGraph& graph, double weight) {
+  NodeCosts costs;
+  for (const auto& [name, node] : graph.nodes()) {
+    if (node.is_compute && node.has_host_info)
+      costs[name] = weight * node.cpu_load;
+  }
+  return costs;
+}
+
+namespace {
+double node_cost(const NodeCosts& costs, const std::string& name) {
+  const auto it = costs.find(name);
+  return it == costs.end() ? 0.0 : it->second;
+}
+}  // namespace
+
+double cluster_cost(const DistanceMatrix& distances,
+                    const std::vector<std::string>& nodes,
+                    const NodeCosts& node_costs) {
+  double cost = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    cost += node_cost(node_costs, nodes[i]);
+    for (std::size_t j = i + 1; j < nodes.size(); ++j)
+      cost += distances.at(nodes[i], nodes[j]);
+  }
+  return cost;
+}
+
+ClusterResult greedy_cluster(const DistanceMatrix& distances,
+                             const std::string& start, std::size_t size,
+                             const NodeCosts& node_costs) {
+  if (size == 0) throw InvalidArgument("greedy_cluster: size 0");
+  if (size > distances.size())
+    throw InvalidArgument("greedy_cluster: size exceeds candidate pool");
+  distances.index_of(start);  // validates membership
+
+  ClusterResult result;
+  result.nodes.push_back(start);
+  std::vector<std::string> remaining;
+  for (const std::string& n : distances.names())
+    if (n != start) remaining.push_back(n);
+
+  while (result.nodes.size() < size) {
+    std::size_t best = remaining.size();
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < remaining.size(); ++c) {
+      double d = node_cost(node_costs, remaining[c]);
+      for (const std::string& member : result.nodes)
+        d += distances.at(remaining[c], member);
+      // Strictly-better wins; ties keep the earlier (lexicographically
+      // smaller, since `remaining` is sorted) candidate.
+      if (d < best_d - 1e-12) {
+        best_d = d;
+        best = c;
+      }
+    }
+    if (best == remaining.size())
+      throw Error("greedy_cluster: no reachable candidate");
+    result.nodes.push_back(remaining[best]);
+    remaining.erase(remaining.begin() + static_cast<long>(best));
+  }
+  result.cost = cluster_cost(distances, result.nodes, node_costs);
+  return result;
+}
+
+ClusterResult best_cluster_exhaustive(const DistanceMatrix& distances,
+                                      const std::string& start,
+                                      std::size_t size,
+                                      const NodeCosts& node_costs) {
+  if (size == 0) throw InvalidArgument("best_cluster_exhaustive: size 0");
+  if (size > distances.size())
+    throw InvalidArgument("best_cluster_exhaustive: size exceeds pool");
+  const std::size_t start_idx = distances.index_of(start);
+
+  const std::size_t n = distances.size();
+  ClusterResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+
+  std::vector<std::size_t> pool;
+  for (std::size_t i = 0; i < n; ++i)
+    if (i != start_idx) pool.push_back(i);
+
+  // Enumerate (size-1)-subsets of pool.
+  std::vector<std::size_t> pick(size - 1);
+  auto evaluate = [&] {
+    std::vector<std::string> nodes{start};
+    for (std::size_t i : pick) nodes.push_back(distances.names()[i]);
+    const double cost = cluster_cost(distances, nodes, node_costs);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.nodes = std::move(nodes);
+    }
+  };
+  if (size == 1) {
+    best.nodes = {start};
+    best.cost = cluster_cost(distances, best.nodes, node_costs);
+    return best;
+  }
+  // Standard combination enumeration over idx[0] < idx[1] < ... .
+  const std::size_t m = size - 1;
+  if (m > pool.size())
+    throw InvalidArgument("best_cluster_exhaustive: size exceeds pool");
+  std::vector<std::size_t> idx(m);
+  for (std::size_t i = 0; i < m; ++i) idx[i] = i;
+  while (true) {
+    for (std::size_t i = 0; i < m; ++i) pick[i] = pool[idx[i]];
+    evaluate();
+    // Rightmost index that can still advance.
+    std::size_t k = m;
+    while (k > 0 && idx[k - 1] == pool.size() - m + (k - 1)) --k;
+    if (k == 0) break;
+    ++idx[k - 1];
+    for (std::size_t j = k; j < m; ++j) idx[j] = idx[j - 1] + 1;
+  }
+  return best;
+}
+
+}  // namespace remos::cluster

@@ -1,0 +1,62 @@
+// Node-selection clustering (paper §7.2).
+//
+// "The application provides an initial start node, which is the first
+// node added to the selected cluster.  Next, the node with the shortest
+// distance to the existing nodes in the cluster is determined and added.
+// The step is repeated until the cluster contains the number of nodes
+// needed."  Distance-to-cluster is the sum of distances to current
+// members (what an all-to-all application pays); ties break on node name
+// so selection is deterministic.
+//
+// The optimal-cluster problem is NP-hard (k-clique-like), so the greedy
+// heuristic is the production path; an exhaustive search is provided for
+// small instances to measure the heuristic's gap in tests and benches.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/distance.hpp"
+#include "core/graph.hpp"
+
+namespace remos::cluster {
+
+/// EXTENSION (§7.2: "in general, tradeoffs between computation and
+/// communication resources would have to be considered for clustering"):
+/// a per-node cost added once for each selected member -- typically a
+/// scaled CPU load, so a busy host must be meaningfully better connected
+/// to be worth picking.  Nodes absent from the map cost 0.
+using NodeCosts = std::map<std::string, double>;
+
+/// Builds NodeCosts from a graph's host info: weight * cpu_load for every
+/// compute node that reported it.  A weight of ~1.0 makes a fully loaded
+/// host as repellent as a congested 100 Mbps path is long.
+NodeCosts cpu_costs(const core::NetworkGraph& graph, double weight);
+
+struct ClusterResult {
+  /// Selected nodes, in selection order (start node first).
+  std::vector<std::string> nodes;
+  /// Total pairwise distance within the cluster (lower is better); the
+  /// "measure of expected communication performance" of §7.3.
+  double cost = 0;
+};
+
+/// Total pairwise distance of a node set, plus each member's node cost.
+double cluster_cost(const DistanceMatrix& distances,
+                    const std::vector<std::string>& nodes,
+                    const NodeCosts& node_costs = {});
+
+/// Greedy growth from `start` to `size` members.
+ClusterResult greedy_cluster(const DistanceMatrix& distances,
+                             const std::string& start, std::size_t size,
+                             const NodeCosts& node_costs = {});
+
+/// Exhaustive minimum-cost cluster containing `start` (small n only;
+/// cost is C(n-1, size-1) subsets).
+ClusterResult best_cluster_exhaustive(const DistanceMatrix& distances,
+                                      const std::string& start,
+                                      std::size_t size,
+                                      const NodeCosts& node_costs = {});
+
+}  // namespace remos::cluster

@@ -1,0 +1,78 @@
+#include "collector/benchmark_collector.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace remos::collector {
+
+BenchmarkCollector::BenchmarkCollector(netsim::Simulator& sim,
+                                       std::vector<std::string> hosts,
+                                       Options options)
+    : sim_(&sim), hosts_(std::move(hosts)), options_(options),
+      rng_(options.seed) {
+  if (hosts_.size() < 2)
+    throw InvalidArgument("BenchmarkCollector: need at least two hosts");
+  if (options_.probe_bytes <= 0)
+    throw InvalidArgument("BenchmarkCollector: probe_bytes <= 0");
+  std::sort(hosts_.begin(), hosts_.end());
+}
+
+void BenchmarkCollector::discover() {
+  for (const std::string& h : hosts_) {
+    sim_->topology().id_of(h);  // validates the host exists
+    model_.upsert_node(h, /*is_router=*/false);
+  }
+  for (std::size_t i = 0; i < hosts_.size(); ++i)
+    for (std::size_t j = i + 1; j < hosts_.size(); ++j)
+      model_.upsert_link(hosts_[i], hosts_[j], /*capacity=*/0,
+                         /*latency=*/0);
+}
+
+void BenchmarkCollector::poll() {
+  const Seconds round_start = sim_->now();
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    for (std::size_t j = i + 1; j < hosts_.size(); ++j) {
+      const netsim::NodeId src = sim_->topology().id_of(hosts_[i]);
+      const netsim::NodeId dst = sim_->topology().id_of(hosts_[j]);
+
+      // Latency probe: a tiny echo; modeled as the true one-way path
+      // latency observed with measurement jitter.
+      const Seconds lat =
+          sim_->routing().path_latency(src, dst) *
+          std::max(0.1, rng_.normal(1.0, options_.latency_jitter));
+
+      // Bulk probe in each direction: a real greedy flow competing with
+      // whatever else is on the path.
+      auto probe = [&](netsim::NodeId from, netsim::NodeId to) {
+        netsim::FlowOptions opts;
+        opts.volume = options_.probe_bytes;
+        opts.tag = options_.probe_tag;
+        const Seconds t0 = sim_->now();
+        const netsim::FlowId id = sim_->start_flow(from, to, opts);
+        sim_->run_until_flows_done({id});
+        const Seconds elapsed = sim_->now() - t0;
+        return options_.probe_bytes * 8.0 / std::max(elapsed, 1e-9);
+      };
+      const BitsPerSec fwd = probe(src, dst);
+      const BitsPerSec rev = probe(dst, src);
+
+      bool flipped = false;
+      ModelLink* link = model_.find_link(hosts_[i], hosts_[j], &flipped);
+      if (!link) throw Error("BenchmarkCollector: poll before discover");
+      // Capacity estimate = best throughput ever seen on the pair.
+      link->capacity = std::max({link->capacity, fwd, rev});
+      link->latency = link->latency <= 0 ? lat : 0.7 * link->latency + 0.3 * lat;
+      Sample s;
+      s.at = sim_->now();
+      const BitsPerSec used_fwd = std::max(0.0, link->capacity - fwd);
+      const BitsPerSec used_rev = std::max(0.0, link->capacity - rev);
+      s.used_ab = flipped ? used_rev : used_fwd;
+      s.used_ba = flipped ? used_fwd : used_rev;
+      link->history.record(s);
+    }
+  }
+  last_poll_duration_ = sim_->now() - round_start;
+}
+
+}  // namespace remos::collector

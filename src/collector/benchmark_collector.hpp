@@ -1,0 +1,65 @@
+// Active-probing collector (the paper's fallback "Collector that uses
+// benchmarks to probe networks that do not respond to our SNMP queries",
+// e.g. commercial WAN clouds).
+//
+// The collector is given a set of endpoint host names.  It cannot see
+// inside the network, so its model is a *logical* one: each host pair is
+// represented by a single end-to-end link whose characteristics come from
+// measurements (the paper's Internet-as-a-single-link abstraction):
+//   - latency: a small echo probe, measured as the path round-trip and
+//     halved, with measurement jitter;
+//   - bandwidth: a short bulk transfer (greedy flow of `probe_bytes`),
+//     timed to completion -- the achieved rate is recorded as a *used +
+//     available* sample, i.e. what a new flow could get right now.
+// Active probing perturbs the network (the probe competes with real
+// traffic for its duration); keeping probes small bounds that cost, and
+// the ablation bench quantifies it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collector/collector.hpp"
+#include "util/rng.hpp"
+
+namespace remos::collector {
+
+class BenchmarkCollector : public Collector {
+ public:
+  struct Options {
+    Bytes probe_bytes = 256 * 1024;  // bulk-probe size
+    double latency_jitter = 0.05;    // relative sigma on latency probes
+    std::uint64_t seed = 0xBEEF;
+    std::string probe_tag = "remos-probe";
+  };
+
+  /// Probes run as real flows on `sim` between the named hosts.
+  BenchmarkCollector(netsim::Simulator& sim, std::vector<std::string> hosts,
+                     Options options);
+  BenchmarkCollector(netsim::Simulator& sim, std::vector<std::string> hosts)
+      : BenchmarkCollector(sim, std::move(hosts), Options{}) {}
+
+  /// Builds the logical clique: one end-to-end logical link per host
+  /// pair, characterized by poll().  Link capacity is estimated as the
+  /// best throughput ever observed; "used" bandwidth in a sample is the
+  /// estimated capacity minus what the probe achieved, so the Modeler's
+  /// available-bandwidth arithmetic works identically for both collectors.
+  void discover() override;
+
+  /// One probe round: for every host pair, a latency estimate and a bulk
+  /// throughput probe; samples land on the pair's logical link.
+  void poll() override;
+
+  /// Seconds of simulated time consumed by the last poll round (probing
+  /// is not free; this is the perturbation-cost metric).
+  Seconds last_poll_duration() const { return last_poll_duration_; }
+
+ private:
+  netsim::Simulator* sim_;
+  std::vector<std::string> hosts_;
+  Options options_;
+  Rng rng_;
+  Seconds last_poll_duration_ = 0;
+};
+
+}  // namespace remos::collector

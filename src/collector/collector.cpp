@@ -1,0 +1,31 @@
+#include "collector/collector.hpp"
+
+#include "util/error.hpp"
+
+namespace remos::collector {
+
+Collector::~Collector() = default;
+
+void Collector::start_polling(netsim::Simulator& sim, Seconds period) {
+  if (period <= 0) throw InvalidArgument("start_polling: period <= 0");
+  if (polling_) throw Error("start_polling: already polling");
+  polling_ = true;
+  arm(sim, period);
+}
+
+void Collector::stop_polling() {
+  polling_ = false;
+  ++epoch_;
+}
+
+void Collector::arm(netsim::Simulator& sim, Seconds period) {
+  const std::uint64_t epoch = epoch_;
+  sim.schedule_in(period, [this, &sim, period, epoch] {
+    if (epoch != epoch_ || !polling_) return;
+    poll();
+    ++polls_completed_;
+    arm(sim, period);
+  });
+}
+
+}  // namespace remos::collector

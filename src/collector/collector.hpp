@@ -1,0 +1,54 @@
+// Collector interface (paper §5, Figure 2).
+//
+// A Collector retrieves raw information about the network and maintains a
+// NetworkModel.  Two implementations exist, matching the paper's:
+// SnmpCollector extracts static topology and dynamic bandwidth from router
+// agents via SNMP; BenchmarkCollector probes networks that do not answer
+// SNMP with active measurements.  Collectors are periodic: discover()
+// once, then poll() on an interval (driven by simulator timers via
+// start_polling, or manually from tests).
+#pragma once
+
+#include "collector/network_model.hpp"
+#include "netsim/simulator.hpp"
+
+namespace remos::collector {
+
+class Collector {
+ public:
+  virtual ~Collector();
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  /// Builds/refreshes the static topology in the model.
+  virtual void discover() = 0;
+
+  /// Takes one round of dynamic measurements.
+  virtual void poll() = 0;
+
+  const NetworkModel& model() const { return model_; }
+  NetworkModel& model() { return model_; }
+
+  /// Polls every `period` seconds on the simulator's clock, starting one
+  /// period from now.  The collector must outlive the polling (or call
+  /// stop_polling()).
+  void start_polling(netsim::Simulator& sim, Seconds period);
+  void stop_polling();
+  bool polling() const { return polling_; }
+  std::size_t polls_completed() const { return polls_completed_; }
+
+ protected:
+  Collector() = default;
+
+  NetworkModel model_;
+
+ private:
+  void arm(netsim::Simulator& sim, Seconds period);
+
+  bool polling_ = false;
+  std::uint64_t epoch_ = 0;  // invalidates armed timers after stop
+  std::size_t polls_completed_ = 0;
+};
+
+}  // namespace remos::collector

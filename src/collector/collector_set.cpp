@@ -1,0 +1,28 @@
+#include "collector/collector_set.hpp"
+
+#include "util/error.hpp"
+
+namespace remos::collector {
+
+void CollectorSet::add(Collector& collector) {
+  for (const Collector* c : collectors_)
+    if (c == &collector)
+      throw InvalidArgument("CollectorSet: collector already added");
+  collectors_.push_back(&collector);
+}
+
+void CollectorSet::discover_all() {
+  for (Collector* c : collectors_) c->discover();
+}
+
+void CollectorSet::poll_all() {
+  for (Collector* c : collectors_) c->poll();
+}
+
+NetworkModel CollectorSet::merged() const {
+  NetworkModel out;
+  for (const Collector* c : collectors_) out.merge_from(c->model());
+  return out;
+}
+
+}  // namespace remos::collector

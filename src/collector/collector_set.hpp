@@ -1,0 +1,37 @@
+// Cooperating collectors ("a large environment may require multiple
+// cooperating Collectors", paper §5).
+//
+// A CollectorSet owns no collector; it references several and exposes a
+// merged NetworkModel.  Typical use: one SnmpCollector per management
+// domain plus a BenchmarkCollector spanning the WAN cloud between them.
+#pragma once
+
+#include <vector>
+
+#include "collector/collector.hpp"
+
+namespace remos::collector {
+
+class CollectorSet {
+ public:
+  CollectorSet() = default;
+
+  /// Registers a collector; it must outlive the set.
+  void add(Collector& collector);
+
+  std::size_t size() const { return collectors_.size(); }
+
+  /// Runs discovery on all collectors.
+  void discover_all();
+
+  /// Runs one poll round on all collectors.
+  void poll_all();
+
+  /// Merged view across all collectors (rebuilt on each call).
+  NetworkModel merged() const;
+
+ private:
+  std::vector<Collector*> collectors_;
+};
+
+}  // namespace remos::collector

@@ -1,0 +1,137 @@
+#include "collector/network_model.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace remos::collector {
+
+std::vector<double> LinkHistory::used_in_window(Seconds now, Seconds window,
+                                                bool ab) const {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const Sample& s = samples_[i];
+    if (window > 0 && s.at <= now - window) continue;
+    if (s.at > now) continue;
+    out.push_back(ab ? s.used_ab : s.used_ba);
+  }
+  return out;
+}
+
+Measurement LinkHistory::used_measurement(Seconds now, Seconds window,
+                                          bool ab) const {
+  return Measurement::from_samples(used_in_window(now, window, ab));
+}
+
+ModelNode& NetworkModel::upsert_node(const std::string& name,
+                                     bool is_router) {
+  auto [it, inserted] = nodes_.try_emplace(name);
+  if (inserted) {
+    it->second.name = name;
+    it->second.is_router = is_router;
+  } else if (is_router) {
+    it->second.is_router = true;  // router knowledge dominates
+  }
+  return it->second;
+}
+
+ModelLink& NetworkModel::upsert_link(const std::string& a,
+                                     const std::string& b,
+                                     BitsPerSec capacity, Seconds latency) {
+  if (a == b) throw InvalidArgument("upsert_link: self-loop " + a);
+  if (!has_node(a) || !has_node(b))
+    throw InvalidArgument("upsert_link: unknown endpoint");
+  bool flipped = false;
+  if (ModelLink* existing = find_link(a, b, &flipped)) return *existing;
+  links_.push_back(ModelLink{a, b, capacity, latency, true,
+                             SharingPolicy::kUnknown, LinkHistory{}});
+  link_index_[{a, b}] = links_.size() - 1;
+  return links_.back();
+}
+
+bool NetworkModel::has_node(const std::string& name) const {
+  return nodes_.contains(name);
+}
+
+const ModelNode& NetworkModel::node(const std::string& name) const {
+  const auto it = nodes_.find(name);
+  if (it == nodes_.end())
+    throw NotFoundError("NetworkModel: unknown node " + name);
+  return it->second;
+}
+
+ModelNode& NetworkModel::node(const std::string& name) {
+  const auto it = nodes_.find(name);
+  if (it == nodes_.end())
+    throw NotFoundError("NetworkModel: unknown node " + name);
+  return it->second;
+}
+
+const ModelLink* NetworkModel::find_link(const std::string& a,
+                                         const std::string& b,
+                                         bool* flipped) const {
+  if (auto it = link_index_.find({a, b}); it != link_index_.end()) {
+    if (flipped) *flipped = false;
+    return &links_[it->second];
+  }
+  if (auto it = link_index_.find({b, a}); it != link_index_.end()) {
+    if (flipped) *flipped = true;
+    return &links_[it->second];
+  }
+  return nullptr;
+}
+
+ModelLink* NetworkModel::find_link(const std::string& a, const std::string& b,
+                                   bool* flipped) {
+  return const_cast<ModelLink*>(
+      std::as_const(*this).find_link(a, b, flipped));
+}
+
+std::vector<std::string> NetworkModel::neighbors(
+    const std::string& name) const {
+  std::vector<std::string> out;
+  for (const ModelLink& l : links_) {
+    if (l.a == name) out.push_back(l.b);
+    if (l.b == name) out.push_back(l.a);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void NetworkModel::merge_from(const NetworkModel& other) {
+  for (const auto& [name, n] : other.nodes()) {
+    ModelNode& mine = upsert_node(name, n.is_router);
+    if (n.internal_bw > 0) mine.internal_bw = n.internal_bw;
+    if (n.has_host_info) {
+      mine.has_host_info = true;
+      mine.cpu_load = n.cpu_load;
+      mine.memory_mb = n.memory_mb;
+    }
+  }
+  for (const ModelLink& l : other.links()) {
+    bool flipped = false;
+    ModelLink* mine = find_link(l.a, l.b, &flipped);
+    if (!mine) {
+      mine = &upsert_link(l.a, l.b, l.capacity, l.latency);
+      flipped = false;
+    }
+    mine->up = l.up;
+    if (l.sharing != SharingPolicy::kUnknown) mine->sharing = l.sharing;
+    // Adopt the other collector's samples that are newer than anything we
+    // already hold (clock domains are shared: both stamp in sim time).
+    const Seconds newest = mine->history.empty()
+                               ? -std::numeric_limits<Seconds>::infinity()
+                               : mine->history.latest().at;
+    for (std::size_t i = 0; i < l.history.size(); ++i) {
+      const Sample s = l.history.sample(i);
+      if (s.at > newest) {
+        Sample adjusted = s;
+        if (flipped) std::swap(adjusted.used_ab, adjusted.used_ba);
+        mine->history.record(adjusted);
+      }
+    }
+  }
+}
+
+}  // namespace remos::collector

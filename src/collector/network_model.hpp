@@ -1,0 +1,123 @@
+// The collector's data product: a named-node network model with per-link
+// measurement histories.
+//
+// This is deliberately separate from both the simulator Topology (which a
+// real collector cannot see) and the core::NetworkGraph the Remos API
+// returns (which is a per-query logical view).  Everything here is keyed
+// by node *name*, because names (sysName) are all that SNMP discovery
+// yields.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/ring_buffer.hpp"
+#include "util/sharing.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace remos::collector {
+
+/// One polling observation of a link: traffic rates seen in each
+/// direction over the last polling interval.
+struct Sample {
+  Seconds at = 0;          // collector-side timestamp of the interval end
+  BitsPerSec used_ab = 0;  // traffic a -> b
+  BitsPerSec used_ba = 0;  // traffic b -> a
+};
+
+/// Bounded history of samples for one link.
+class LinkHistory {
+ public:
+  explicit LinkHistory(std::size_t capacity = 256) : samples_(capacity) {}
+
+  void record(Sample s) { samples_.push(s); }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const Sample& latest() const { return samples_.back(); }
+  /// i-th retained sample, 0 = oldest.
+  const Sample& sample(std::size_t i) const { return samples_[i]; }
+
+  /// Used-bandwidth samples in (now - window, now], oldest first.
+  /// window <= 0 means "everything retained".
+  std::vector<double> used_in_window(Seconds now, Seconds window,
+                                     bool ab) const;
+
+  /// Quartile measurement of used bandwidth over the window.
+  Measurement used_measurement(Seconds now, Seconds window, bool ab) const;
+
+ private:
+  RingBuffer<Sample> samples_;
+};
+
+struct ModelNode {
+  std::string name;
+  bool is_router = false;
+  /// Aggregate forwarding capacity (0 = not reported / unlimited).
+  BitsPerSec internal_bw = 0;
+  /// Host info (compute nodes with a responding host agent only).
+  bool has_host_info = false;
+  double cpu_load = 0.0;
+  std::uint32_t memory_mb = 0;
+};
+
+struct ModelLink {
+  std::string a;
+  std::string b;
+  BitsPerSec capacity = 0;
+  Seconds latency = 0;
+  /// Operational state, from ifOperStatus.  Down links stay in the model
+  /// (they may return) but contribute nothing to logical topologies.
+  bool up = true;
+  /// How competing flows split this link's capacity (extension; unknown
+  /// for links the network did not describe, e.g. probed WAN pairs).
+  SharingPolicy sharing = SharingPolicy::kUnknown;
+  LinkHistory history;
+};
+
+/// Discovered topology plus measurement state.  Links are unordered pairs;
+/// sample direction is stored relative to the (a, b) orientation the link
+/// was first inserted with.
+class NetworkModel {
+ public:
+  /// Inserts or updates a node; returns the stored entry.
+  ModelNode& upsert_node(const std::string& name, bool is_router);
+
+  /// Inserts a link if absent (either orientation); returns the entry.
+  ModelLink& upsert_link(const std::string& a, const std::string& b,
+                         BitsPerSec capacity, Seconds latency);
+
+  bool has_node(const std::string& name) const;
+  const ModelNode& node(const std::string& name) const;
+  ModelNode& node(const std::string& name);
+
+  /// Finds the link between a and b in either orientation; `flipped` is
+  /// set if the stored orientation is (b, a).  Null if absent.
+  const ModelLink* find_link(const std::string& a, const std::string& b,
+                             bool* flipped = nullptr) const;
+  ModelLink* find_link(const std::string& a, const std::string& b,
+                       bool* flipped = nullptr);
+
+  const std::map<std::string, ModelNode>& nodes() const { return nodes_; }
+  const std::vector<ModelLink>& links() const { return links_; }
+  std::vector<ModelLink>& links() { return links_; }
+
+  /// Node names adjacent to `name`.
+  std::vector<std::string> neighbors(const std::string& name) const;
+
+  /// Merges another model into this one (multi-collector cooperation):
+  /// unknown nodes/links are added; known links keep their existing
+  /// history and adopt the other's samples.
+  void merge_from(const NetworkModel& other);
+
+ private:
+  std::map<std::string, ModelNode> nodes_;
+  std::vector<ModelLink> links_;
+  std::map<std::pair<std::string, std::string>, std::size_t> link_index_;
+};
+
+}  // namespace remos::collector

@@ -1,0 +1,238 @@
+#include "collector/snmp_collector.hpp"
+
+#include <deque>
+
+#include "snmp/mib2.hpp"
+#include "util/error.hpp"
+
+namespace remos::collector {
+
+namespace {
+using snmp::Oid;
+using snmp::oids::kIfTableEntry;
+using snmp::oids::kRemosNeighborEntry;
+
+constexpr double kCounterModulus = 4294967296.0;  // 2^32
+
+/// Counter32 difference that survives one wrap.
+std::uint32_t counter_delta(std::uint32_t now, std::uint32_t before) {
+  return now - before;  // unsigned arithmetic wraps correctly
+}
+}  // namespace
+
+SnmpCollector::SnmpCollector(snmp::Transport& transport,
+                             std::vector<std::string> seed_routers,
+                             Options options)
+    : transport_(&transport),
+      seeds_(std::move(seed_routers)),
+      options_(std::move(options)) {
+  if (seeds_.empty())
+    throw InvalidArgument("SnmpCollector: no seed routers");
+}
+
+void SnmpCollector::discover() {
+  unreachable_ = 0;
+  std::deque<std::string> frontier(seeds_.begin(), seeds_.end());
+  std::set<std::string> visited;
+  while (!frontier.empty()) {
+    const std::string router = frontier.front();
+    frontier.pop_front();
+    if (!visited.insert(router).second) continue;
+    // A lossy transport can kill one exchange in a long table walk even
+    // with per-datagram retries; retry the whole router a few times
+    // before declaring it unreachable (it stays pending and is retried
+    // again on every poll).
+    bool reached = false;
+    for (int attempt = 0; attempt < 3 && !reached; ++attempt) {
+      try {
+        for (const std::string& peer : ingest_router(router))
+          if (!visited.contains(peer)) frontier.push_back(peer);
+        known_routers_.insert(router);
+        pending_routers_.erase(router);
+        reached = true;
+      } catch (const TimeoutError&) {
+      } catch (const NotFoundError&) {
+        break;  // no agent at that address: retrying cannot help now
+      }
+    }
+    if (!reached) {
+      ++unreachable_;
+      pending_routers_.insert(router);
+    }
+  }
+  if (known_routers_.empty())
+    throw Error("SnmpCollector: discovery reached no routers");
+}
+
+std::vector<std::string> SnmpCollector::ingest_router(
+    const std::string& name) {
+  snmp::Client client(*transport_, snmp::agent_address(name),
+                      options_.community);
+  const std::string sys_name = client.get(snmp::oids::kSysName).as_octets();
+  ModelNode& self = model_.upsert_node(sys_name, /*is_router=*/true);
+  try {
+    self.internal_bw =
+        static_cast<double>(
+            client.get(snmp::oids::kRemosBackplaneKbps).as_gauge32()) *
+        1e3;
+  } catch (const NotFoundError&) {
+    // No finite backplane reported: only links constrain traffic.
+  }
+
+  // Column-indexed walk results: ifIndex -> value.
+  auto column = [&](const Oid& entry, std::uint32_t col) {
+    std::map<std::uint32_t, snmp::Value> out;
+    for (const snmp::VarBind& vb : client.walk(entry.child(col)))
+      out.emplace(vb.oid[vb.oid.size() - 1], vb.value);
+    return out;
+  };
+
+  const auto speeds = column(kIfTableEntry, snmp::oids::kIfSpeedCol);
+  const auto nbr_names =
+      column(kRemosNeighborEntry, snmp::oids::kNbrNameCol);
+  const auto nbr_router =
+      column(kRemosNeighborEntry, snmp::oids::kNbrIsRouterCol);
+  const auto nbr_latency =
+      column(kRemosNeighborEntry, snmp::oids::kNbrLatencyMicrosCol);
+  const auto nbr_sharing =
+      column(kRemosNeighborEntry, snmp::oids::kNbrSharingCol);
+
+  std::vector<std::string> peer_routers;
+  for (const auto& [if_index, name_value] : nbr_names) {
+    const std::string peer = name_value.as_octets();
+    const bool peer_is_router = nbr_router.at(if_index).as_integer() != 0;
+    const auto speed_it = speeds.find(if_index);
+    if (speed_it == speeds.end())
+      throw ProtocolError("SnmpCollector: neighbor without ifSpeed");
+    const auto capacity =
+        static_cast<BitsPerSec>(speed_it->second.as_gauge32());
+    const Seconds latency =
+        static_cast<double>(nbr_latency.at(if_index).as_gauge32()) * 1e-6;
+
+    model_.upsert_node(peer, peer_is_router);
+    ModelLink& link = model_.upsert_link(sys_name, peer, capacity, latency);
+    if (const auto it = nbr_sharing.find(if_index);
+        it != nbr_sharing.end()) {
+      const std::int64_t raw = it->second.as_integer();
+      if (raw >= 0 && raw <= 2)
+        link.sharing = static_cast<SharingPolicy>(raw);
+    }
+    if_neighbor_[{sys_name, if_index}] = peer;
+    if (peer_is_router) peer_routers.push_back(peer);
+
+    if (!peer_is_router && options_.query_hosts &&
+        transport_->bound(snmp::agent_address(peer))) {
+      snmp::Client host(*transport_, snmp::agent_address(peer),
+                        options_.community);
+      try {
+        ModelNode& hn = model_.node(peer);
+        hn.cpu_load =
+            static_cast<double>(
+                host.get(snmp::oids::kHrProcessorLoad).as_integer()) /
+            100.0;
+        hn.memory_mb = host.get(snmp::oids::kHrMemorySize).as_gauge32();
+        hn.has_host_info = true;
+        known_hosts_.insert(peer);
+      } catch (const TimeoutError&) {
+        ++unreachable_;
+      } catch (const NotFoundError&) {
+        // Host agent lacks the host group: fine, info stays unknown.
+      }
+    }
+  }
+  return peer_routers;
+}
+
+void SnmpCollector::poll() {
+  unreachable_ = 0;
+  // Second-chance discovery for routers that were unreachable earlier.
+  for (auto it = pending_routers_.begin(); it != pending_routers_.end();) {
+    try {
+      ingest_router(*it);
+      known_routers_.insert(*it);
+      it = pending_routers_.erase(it);
+    } catch (const Error&) {
+      ++unreachable_;
+      ++it;
+    }
+  }
+  for (const std::string& router : known_routers_) {
+    try {
+      poll_router(router);
+    } catch (const TimeoutError&) {
+      ++unreachable_;  // missed poll: history simply gets no sample
+    }
+  }
+  // Host CPU load is as dynamic as link usage: refresh it every round.
+  for (const std::string& host : known_hosts_) {
+    try {
+      poll_host(host);
+    } catch (const TimeoutError&) {
+      ++unreachable_;
+    }
+  }
+}
+
+void SnmpCollector::poll_host(const std::string& name) {
+  snmp::Client client(*transport_, snmp::agent_address(name),
+                      options_.community);
+  ModelNode& hn = model_.node(name);
+  hn.cpu_load = static_cast<double>(
+                    client.get(snmp::oids::kHrProcessorLoad).as_integer()) /
+                100.0;
+}
+
+void SnmpCollector::poll_router(const std::string& name) {
+  snmp::Client client(*transport_, snmp::agent_address(name),
+                      options_.community);
+  // One multi-object GET per interface batch: uptime + per-if counters.
+  const std::uint32_t uptime =
+      client.get(snmp::oids::kSysUpTime).as_time_ticks();
+
+  for (const auto& [key, neighbor] : if_neighbor_) {
+    if (key.first != name) continue;
+    const std::uint32_t if_index = key.second;
+    const auto in_oid =
+        kIfTableEntry.descend({snmp::oids::kIfInOctetsCol, if_index});
+    const auto out_oid =
+        kIfTableEntry.descend({snmp::oids::kIfOutOctetsCol, if_index});
+    const auto oper_oid =
+        kIfTableEntry.descend({snmp::oids::kIfOperStatusCol, if_index});
+    const auto values = client.get_many({in_oid, out_oid, oper_oid});
+    const std::uint32_t in_now = values[0].value.as_counter32();
+    const std::uint32_t out_now = values[1].value.as_counter32();
+    const bool oper_up = values[2].value.as_integer() == 1;
+    if (ModelLink* l = model_.find_link(name, neighbor)) l->up = oper_up;
+
+    CounterState& prev = counters_[key];
+    if (prev.valid && uptime != prev.uptime_ticks) {
+      const double dt =
+          static_cast<double>(counter_delta(uptime, prev.uptime_ticks)) /
+          100.0;
+      const double in_bytes = counter_delta(in_now, prev.in_octets);
+      const double out_bytes = counter_delta(out_now, prev.out_octets);
+      // A polling gap longer than one wrap period is not recoverable from
+      // 32-bit counters; guard against absurd rates instead of recording
+      // garbage.
+      const BitsPerSec in_rate = in_bytes * 8.0 / dt;
+      const BitsPerSec out_rate = out_bytes * 8.0 / dt;
+      bool flipped = false;
+      ModelLink* link = model_.find_link(name, neighbor, &flipped);
+      if (link && in_bytes < kCounterModulus && out_bytes < kCounterModulus) {
+        // Router's out direction = router -> neighbor traffic.
+        Sample s;
+        s.at = static_cast<double>(uptime) / 100.0;
+        const bool router_is_a = !flipped;
+        s.used_ab = router_is_a ? out_rate : in_rate;
+        s.used_ba = router_is_a ? in_rate : out_rate;
+        link->history.record(s);
+      }
+    }
+    prev.in_octets = in_now;
+    prev.out_octets = out_now;
+    prev.uptime_ticks = uptime;
+    prev.valid = true;
+  }
+}
+
+}  // namespace remos::collector

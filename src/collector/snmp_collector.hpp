@@ -1,0 +1,78 @@
+// SNMP-based collector (the paper's primary Collector).
+//
+// Discovery: starting from seed router addresses, walks each agent's
+// system group, ifTable and Remos neighbor table, inserting nodes and
+// links; newly met routers are visited transitively (breadth-first), so a
+// single seed suffices on a connected management domain.  Hosts found in
+// neighbor tables are recorded but not required to run agents; if a host
+// agent answers, its CPU/memory group is read too.
+//
+// Polling: reads sysUpTime and ifIn/ifOutOctets from every known router,
+// differences the Counter32 values against the previous poll (modulo 2^32,
+// surviving counter wrap), and records per-direction utilization samples
+// into the model's link histories.  Rates are computed against the agent's
+// own uptime clock, so collector-side scheduling jitter does not corrupt
+// the estimates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "collector/collector.hpp"
+#include "snmp/client.hpp"
+#include "snmp/transport.hpp"
+
+namespace remos::collector {
+
+class SnmpCollector : public Collector {
+ public:
+  struct Options {
+    std::string community = "public";
+    /// Also query host agents met during discovery (CPU/memory info).
+    bool query_hosts = true;
+  };
+
+  /// `seed_routers` are node names (addresses derive via agent_address).
+  SnmpCollector(snmp::Transport& transport,
+                std::vector<std::string> seed_routers, Options options);
+  SnmpCollector(snmp::Transport& transport,
+                std::vector<std::string> seed_routers)
+      : SnmpCollector(transport, std::move(seed_routers), Options{}) {}
+
+  void discover() override;
+  void poll() override;
+
+  /// Number of agents that failed to answer during the last operation.
+  std::size_t unreachable_agents() const { return unreachable_; }
+
+ private:
+  struct CounterState {
+    std::uint32_t in_octets = 0;
+    std::uint32_t out_octets = 0;
+    std::uint32_t uptime_ticks = 0;
+    bool valid = false;
+  };
+
+  /// Reads one router's tables into the model; returns neighbor routers.
+  std::vector<std::string> ingest_router(const std::string& name);
+  void poll_router(const std::string& name);
+
+  void poll_host(const std::string& name);
+
+  snmp::Transport* transport_;
+  std::vector<std::string> seeds_;
+  Options options_;
+  std::set<std::string> known_routers_;
+  std::set<std::string> pending_routers_;  // unreachable so far; retried
+  std::set<std::string> known_hosts_;      // hosts with responding agents
+  // (router, ifIndex) -> previous counters.
+  std::map<std::pair<std::string, std::uint32_t>, CounterState> counters_;
+  // (router, ifIndex) -> neighbor name (fixed at discovery).
+  std::map<std::pair<std::string, std::uint32_t>, std::string> if_neighbor_;
+  std::size_t unreachable_ = 0;
+};
+
+}  // namespace remos::collector

@@ -1,0 +1,24 @@
+// A collector that serves a fixed, hand-authored NetworkModel.
+//
+// Useful wherever the Modeler should answer from a known model rather
+// than live measurement: unit tests, didactic examples (the paper's
+// Figure 1), and environments where topology/usage comes from a file or
+// an external system instead of SNMP.
+#pragma once
+
+#include "collector/collector.hpp"
+
+namespace remos::collector {
+
+class StaticCollector : public Collector {
+ public:
+  explicit StaticCollector(NetworkModel model) { model_ = std::move(model); }
+
+  void discover() override {}
+  void poll() override {}
+
+  /// Replaces the served model.
+  void set_model(NetworkModel model) { model_ = std::move(model); }
+};
+
+}  // namespace remos::collector

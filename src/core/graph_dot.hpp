@@ -1,0 +1,18 @@
+// Graphviz (DOT) rendering of a Remos logical topology -- for humans:
+//   ./quickstart | ... | dot -Tsvg > network.svg
+//
+// Compute nodes are boxes, network nodes ellipses, logical links that
+// abstract hidden equipment are dashed; edges are labeled with capacity,
+// median usage, latency and (when known) sharing policy.
+#pragma once
+
+#include <string>
+
+#include "core/graph.hpp"
+
+namespace remos::core {
+
+std::string to_dot(const NetworkGraph& graph,
+                   const std::string& title = "remos");
+
+}  // namespace remos::core

@@ -1,0 +1,288 @@
+#include "core/logical.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace remos::core {
+
+namespace {
+
+using collector::ModelLink;
+using collector::ModelNode;
+using collector::NetworkModel;
+
+/// Adjacency with neighbor lists sorted by name, computed once per query
+/// (NetworkModel::neighbors scans every link per call, which is far too
+/// slow inside a BFS).
+using Adjacency = std::map<std::string, std::vector<std::string>>;
+
+Adjacency build_adjacency(const NetworkModel& model) {
+  Adjacency adj;
+  for (const auto& [name, node] : model.nodes()) adj[name];
+  for (const ModelLink& l : model.links()) {
+    if (!l.up) continue;  // failed links route nothing
+    adj[l.a].push_back(l.b);
+    adj[l.b].push_back(l.a);
+  }
+  for (auto& [name, neighbors] : adj)
+    std::sort(neighbors.begin(), neighbors.end());
+  return adj;
+}
+
+/// One BFS from src over the model (hosts do not forward); fills the
+/// parent map for path reconstruction.  Deterministic by name order.
+std::map<std::string, std::string> bfs_parents(const NetworkModel& model,
+                                               const Adjacency& adj,
+                                               const std::string& src) {
+  std::map<std::string, std::string> prev;
+  std::deque<std::string> frontier{src};
+  prev[src] = src;
+  while (!frontier.empty()) {
+    const std::string cur = frontier.front();
+    frontier.pop_front();
+    if (cur != src && !model.node(cur).is_router) continue;
+    for (const std::string& next : adj.at(cur)) {
+      if (prev.contains(next)) continue;
+      prev[next] = cur;
+      frontier.push_back(next);
+    }
+  }
+  return prev;
+}
+
+Measurement exactish(double v) { return Measurement::exact(v); }
+
+}  // namespace
+
+Measurement used_for_timeframe(const collector::LinkHistory& history,
+                               const Timeframe& timeframe, Seconds now,
+                               bool ab, const Predictor& predictor) {
+  switch (timeframe.kind) {
+    case Timeframe::Kind::kStatic:
+      return Measurement{};  // no dynamic content requested
+    case Timeframe::Kind::kCurrent: {
+      if (history.empty()) return Measurement{};
+      const collector::Sample& s = history.latest();
+      return Measurement::from_samples({ab ? s.used_ab : s.used_ba});
+    }
+    case Timeframe::Kind::kHistory:
+      return history.used_measurement(now, timeframe.window, ab);
+    case Timeframe::Kind::kFuture: {
+      std::vector<TimedSample> series;
+      for (std::size_t i = 0; i < history.size(); ++i) {
+        const collector::Sample& s = history.sample(i);
+        if (timeframe.window > 0 && s.at <= now - timeframe.window) continue;
+        if (s.at > now) continue;
+        series.push_back(TimedSample{s.at, ab ? s.used_ab : s.used_ba});
+      }
+      return predictor.predict(series);
+    }
+  }
+  return Measurement{};
+}
+
+NetworkGraph build_logical_graph(const NetworkModel& model,
+                                 const std::vector<std::string>& nodes,
+                                 const Timeframe& timeframe, Seconds now,
+                                 const Predictor& predictor,
+                                 const LogicalOptions& options) {
+  if (nodes.empty())
+    throw InvalidArgument("build_logical_graph: empty node set");
+  std::set<std::string> queried;
+  for (const std::string& n : nodes) {
+    model.node(n);  // throws NotFoundError if unknown
+    queried.insert(n);
+  }
+
+  // 1. Relevant subgraph: union of pairwise routes.
+  std::set<std::string> keep_nodes;
+  std::set<std::pair<std::string, std::string>> keep_links;
+  if (options.keep_all) {
+    for (const auto& [name, n] : model.nodes()) keep_nodes.insert(name);
+    for (const ModelLink& l : model.links())
+      if (l.up)
+        keep_links.insert({std::min(l.a, l.b), std::max(l.a, l.b)});
+  } else {
+    const Adjacency adj = build_adjacency(model);
+    for (const std::string& a : queried) {
+      keep_nodes.insert(a);
+      const auto parents = bfs_parents(model, adj, a);
+      for (const std::string& b : queried) {
+        if (a >= b) continue;
+        if (!parents.contains(b)) continue;  // unreachable pair
+        // Walk b back to a; every edge on the way is relevant.
+        for (std::string cur = b; cur != a;) {
+          const std::string& up = parents.at(cur);
+          keep_nodes.insert(cur);
+          keep_links.insert(
+              {std::min(cur, up), std::max(cur, up)});
+          cur = up;
+        }
+      }
+    }
+  }
+
+  // Annotated working copies of the kept links (mutable for collapsing).
+  struct WorkLink {
+    std::string a, b;
+    Measurement capacity, latency, used_ab, used_ba;
+    std::vector<std::string> abstracts;
+    SharingPolicy sharing = SharingPolicy::kUnknown;
+  };
+  std::vector<WorkLink> work;
+  for (const ModelLink& l : model.links()) {
+    if (!l.up) continue;
+    if (!keep_links.contains({std::min(l.a, l.b), std::max(l.a, l.b)}))
+      continue;
+    WorkLink w;
+    w.a = l.a;
+    w.b = l.b;
+    w.capacity = exactish(l.capacity);
+    w.latency = exactish(l.latency);
+    w.used_ab = used_for_timeframe(l.history, timeframe, now, true, predictor);
+    w.used_ba =
+        used_for_timeframe(l.history, timeframe, now, false, predictor);
+    w.sharing = l.sharing;
+    work.push_back(std::move(w));
+  }
+
+  // 2. Chain collapsing.
+  if (options.collapse_chains) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      // Degree count over the working link set.
+      std::map<std::string, std::vector<std::size_t>> incident;
+      for (std::size_t i = 0; i < work.size(); ++i) {
+        incident[work[i].a].push_back(i);
+        incident[work[i].b].push_back(i);
+      }
+      for (const auto& [name, links] : incident) {
+        if (queried.contains(name)) continue;
+        if (!model.node(name).is_router) continue;
+        if (model.node(name).internal_bw > 0) continue;  // constraint: keep
+        if (links.size() != 2) continue;
+        WorkLink& l1 = work[links[0]];
+        WorkLink& l2 = work[links[1]];
+        const std::string x = l1.a == name ? l1.b : l1.a;
+        const std::string y = l2.a == name ? l2.b : l2.a;
+        if (x == y) continue;  // parallel chain; leave alone
+        // Direction bookkeeping: usage seen traveling x -> name -> y.
+        auto used_towards = [&](const WorkLink& l, const std::string& to) {
+          return l.b == to ? l.used_ab : l.used_ba;
+        };
+        auto avail = [](const Measurement& cap, const Measurement& used) {
+          GraphLink tmp;
+          tmp.capacity = cap;
+          tmp.used_ab = used;
+          return tmp.available_ab();
+        };
+        WorkLink merged;
+        merged.a = x;
+        merged.b = y;
+        const double cap = std::min(l1.capacity.mean, l2.capacity.mean);
+        merged.capacity = exactish(cap);
+        merged.latency = exactish(l1.latency.mean + l2.latency.mean);
+        // Logical usage: whatever leaves the *least* availability along
+        // the chain, per direction, element-wise on quartiles.
+        auto merge_used = [&](const std::string& from, const std::string& to) {
+          const Measurement a1 = avail(l1.capacity,
+                                       used_towards(l1, from == x ? name : x));
+          const Measurement a2 = avail(l2.capacity,
+                                       used_towards(l2, from == x ? y : name));
+          (void)to;
+          if (!l1.used_ab.known() && !l2.used_ab.known() &&
+              !l1.used_ba.known() && !l2.used_ba.known())
+            return Measurement{};
+          Measurement out;
+          auto lo = [](double p, double q) { return std::min(p, q); };
+          // available = min(a1, a2); used = cap - available (per quartile).
+          out.quartiles.min = cap - lo(a1.quartiles.max, a2.quartiles.max);
+          out.quartiles.q1 = cap - lo(a1.quartiles.q3, a2.quartiles.q3);
+          out.quartiles.median =
+              cap - lo(a1.quartiles.median, a2.quartiles.median);
+          out.quartiles.q3 = cap - lo(a1.quartiles.q1, a2.quartiles.q1);
+          out.quartiles.max = cap - lo(a1.quartiles.min, a2.quartiles.min);
+          out.mean = cap - lo(a1.mean, a2.mean);
+          out.samples = std::min(a1.samples, a2.samples);
+          out.accuracy = std::min(a1.accuracy, a2.accuracy);
+          for (double* q : {&out.quartiles.min, &out.quartiles.q1,
+                            &out.quartiles.median, &out.quartiles.q3,
+                            &out.quartiles.max, &out.mean})
+            *q = std::max(0.0, *q);
+          return out;
+        };
+        merged.used_ab = merge_used(x, y);
+        merged.used_ba = merge_used(y, x);
+        // A chain of uniform policy keeps it; a mixed chain is opaque.
+        merged.sharing = l1.sharing == l2.sharing ? l1.sharing
+                                                  : SharingPolicy::kUnknown;
+        merged.abstracts = l1.abstracts;
+        merged.abstracts.push_back(name);
+        merged.abstracts.insert(merged.abstracts.end(), l2.abstracts.begin(),
+                                l2.abstracts.end());
+        std::sort(merged.abstracts.begin(), merged.abstracts.end());
+
+        // A parallel link x--y may already exist; if so, keep both as
+        // physical (no multigraph support) and skip this node.
+        bool parallel = false;
+        for (std::size_t i = 0; i < work.size(); ++i) {
+          if (i == links[0] || i == links[1]) continue;
+          if ((work[i].a == x && work[i].b == y) ||
+              (work[i].a == y && work[i].b == x))
+            parallel = true;
+        }
+        if (parallel) continue;
+
+        const std::size_t i1 = std::max(links[0], links[1]);
+        const std::size_t i2 = std::min(links[0], links[1]);
+        work.erase(work.begin() + static_cast<long>(i1));
+        work.erase(work.begin() + static_cast<long>(i2));
+        work.push_back(std::move(merged));
+        keep_nodes.erase(name);
+        changed = true;
+        break;  // restart: indices invalidated
+      }
+    }
+  }
+
+  // 3. Assemble the value graph.
+  NetworkGraph graph;
+  std::set<std::string> still_used;
+  for (const WorkLink& w : work) {
+    still_used.insert(w.a);
+    still_used.insert(w.b);
+  }
+  for (const std::string& name : keep_nodes) {
+    if (!still_used.contains(name) && !queried.contains(name))
+      continue;  // dangling interior node after collapsing
+    const ModelNode& mn = model.node(name);
+    GraphNode gn;
+    gn.name = name;
+    gn.is_compute = !mn.is_router;
+    if (mn.internal_bw > 0) gn.internal_bw = exactish(mn.internal_bw);
+    gn.has_host_info = mn.has_host_info;
+    gn.cpu_load = mn.cpu_load;
+    gn.memory_mb = mn.memory_mb;
+    graph.add_node(std::move(gn));
+  }
+  for (WorkLink& w : work) {
+    GraphLink gl;
+    gl.a = std::move(w.a);
+    gl.b = std::move(w.b);
+    gl.capacity = w.capacity;
+    gl.latency = w.latency;
+    gl.used_ab = w.used_ab;
+    gl.used_ba = w.used_ba;
+    gl.abstracts = std::move(w.abstracts);
+    gl.sharing = w.sharing;
+    graph.add_link(std::move(gl));
+  }
+  return graph;
+}
+
+}  // namespace remos::core

@@ -1,0 +1,51 @@
+// Logical-topology generation (paper §4.3).
+//
+// "The graph presented to the user is intended only to represent how the
+// network behaves as seen by the user, and does not necessarily show the
+// network's true physical topology."  Given the collector's model and the
+// set of nodes a query names, this builder:
+//   1. keeps only the subgraph relevant to connecting the queried nodes
+//      (union of routes between all pairs);
+//   2. annotates every element for the requested timeframe (static
+//      capacities; current / windowed / predicted usage as quartile
+//      Measurements);
+//   3. collapses chains through unqueried degree-2 network nodes into
+//      single logical links (min capacity, summed latency, element-wise
+//      worst-case usage), recording the hidden equipment in
+//      GraphLink::abstracts -- the paper's complex-network-as-one-link
+//      abstraction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collector/network_model.hpp"
+#include "core/graph.hpp"
+#include "core/predictor.hpp"
+#include "core/timeframe.hpp"
+
+namespace remos::core {
+
+struct LogicalOptions {
+  /// Collapse degree-2 network chains into logical links.
+  bool collapse_chains = true;
+  /// Keep the entire known network instead of pruning to relevance
+  /// (useful for whole-network dashboards).
+  bool keep_all = false;
+};
+
+/// Builds the annotated logical graph for `nodes` at `now`.
+/// Throws NotFoundError if a queried node is unknown to the model.
+NetworkGraph build_logical_graph(const collector::NetworkModel& model,
+                                 const std::vector<std::string>& nodes,
+                                 const Timeframe& timeframe, Seconds now,
+                                 const Predictor& predictor,
+                                 const LogicalOptions& options);
+
+/// Annotation helper shared with the flow solver: the "used bandwidth"
+/// Measurement of one link direction for a timeframe.
+Measurement used_for_timeframe(const collector::LinkHistory& history,
+                               const Timeframe& timeframe, Seconds now,
+                               bool ab, const Predictor& predictor);
+
+}  // namespace remos::core

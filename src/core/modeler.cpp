@@ -1,0 +1,331 @@
+#include "core/modeler.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <set>
+
+#include "netsim/maxmin.hpp"
+#include "util/error.hpp"
+
+namespace remos::core {
+
+Modeler::Modeler(const collector::Collector& collector)
+    : single_(&collector) {}
+
+Modeler::Modeler(const collector::CollectorSet& set) : set_(&set) {}
+
+void Modeler::set_clock(std::function<Seconds()> clock) {
+  clock_ = std::move(clock);
+}
+
+void Modeler::set_predictor(std::unique_ptr<Predictor> predictor) {
+  if (!predictor) throw InvalidArgument("set_predictor: null predictor");
+  predictor_ = std::move(predictor);
+}
+
+const collector::NetworkModel& Modeler::model() const {
+  if (single_) return single_->model();
+  merged_cache_ = set_->merged();
+  return merged_cache_;
+}
+
+Seconds Modeler::now(const collector::NetworkModel& m) const {
+  if (clock_) return clock_();
+  Seconds newest = 0;
+  for (const collector::ModelLink& l : m.links())
+    if (!l.history.empty()) newest = std::max(newest, l.history.latest().at);
+  return newest;
+}
+
+NetworkGraph Modeler::get_graph(const std::vector<std::string>& nodes,
+                                const Timeframe& timeframe,
+                                const LogicalOptions& options) const {
+  ++queries_answered_;
+  const collector::NetworkModel& m = model();
+  return build_logical_graph(m, nodes, timeframe, now(m), *predictor_,
+                             options);
+}
+
+namespace {
+
+/// A routed query flow ready for allocation.
+struct RoutedFlow {
+  const FlowRequest* request;
+  std::vector<std::size_t> resources;  // directed link / node resources
+  Seconds latency = 0;
+  std::size_t min_samples = std::numeric_limits<std::size_t>::max();
+  double min_accuracy = 1.0;
+  bool routable = false;
+};
+
+/// Background-usage scenario index 0..4 maps to the used-bandwidth
+/// quartile {min,q1,median,q3,max}; low usage = optimistic scenario.
+double used_at(const Measurement& used, std::size_t scenario) {
+  if (!used.known()) return 0.0;
+  switch (scenario) {
+    case 0: return used.quartiles.min;
+    case 1: return used.quartiles.q1;
+    case 2: return used.quartiles.median;
+    case 3: return used.quartiles.q3;
+    default: return used.quartiles.max;
+  }
+}
+
+}  // namespace
+
+FlowQueryResult Modeler::flow_info(const FlowQuery& query) const {
+  ++queries_answered_;
+  // Endpoint set -> logical graph for the query's timeframe.
+  std::vector<const FlowRequest*> all;
+  for (const FlowRequest& f : query.fixed) all.push_back(&f);
+  for (const FlowRequest& f : query.variable) all.push_back(&f);
+  if (query.independent) all.push_back(&*query.independent);
+  if (all.empty() && query.multicast.empty())
+    throw InvalidArgument("flow_info: no flows in query");
+
+  std::set<std::string> endpoint_set;
+  for (const FlowRequest* f : all) {
+    if (f->src == f->dst)
+      throw InvalidArgument("flow_info: src == dst for " + f->src);
+    endpoint_set.insert(f->src);
+    endpoint_set.insert(f->dst);
+  }
+  for (const MulticastRequest& m : query.multicast) {
+    if (m.dsts.empty())
+      throw InvalidArgument("flow_info: multicast without receivers");
+    endpoint_set.insert(m.src);
+    for (const std::string& d : m.dsts) {
+      if (d == m.src)
+        throw InvalidArgument("flow_info: multicast src == dst for " +
+                              m.src);
+      endpoint_set.insert(d);
+    }
+  }
+  const std::vector<std::string> endpoints(endpoint_set.begin(),
+                                           endpoint_set.end());
+  const NetworkGraph graph = get_graph(endpoints, query.timeframe);
+
+  // Resource table over the logical graph: two directed resources per
+  // link, then one per node with a known internal bandwidth.
+  const std::size_t nl = graph.links().size();
+  std::vector<const Measurement*> dir_used(2 * nl);
+  std::vector<double> dir_capacity(2 * nl);
+  for (std::size_t i = 0; i < nl; ++i) {
+    const GraphLink& l = graph.links()[i];
+    dir_capacity[2 * i] = l.capacity.mean;
+    dir_capacity[2 * i + 1] = l.capacity.mean;
+    dir_used[2 * i] = &l.used_ab;
+    dir_used[2 * i + 1] = &l.used_ba;
+  }
+  std::vector<std::string> constrained_nodes;
+  std::vector<double> node_capacity;
+  for (const auto& [name, n] : graph.nodes()) {
+    if (n.internal_bw.known()) {
+      constrained_nodes.push_back(name);
+      node_capacity.push_back(n.internal_bw.mean);
+    }
+  }
+
+  // Route every flow once.
+  std::vector<RoutedFlow> routed(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    RoutedFlow& rf = routed[i];
+    rf.request = all[i];
+    const auto path = graph.route(all[i]->src, all[i]->dst);
+    if (!path) continue;
+    rf.routable = true;
+    for (std::size_t k = 0; k < path->link_indices.size(); ++k) {
+      const std::size_t li = path->link_indices[k];
+      const GraphLink& l = graph.links()[li];
+      const bool forward = path->nodes[k] == l.a;
+      rf.resources.push_back(2 * li + (forward ? 0 : 1));
+      rf.latency += l.latency.quartiles.median;
+      const Measurement& used = forward ? l.used_ab : l.used_ba;
+      if (used.known()) {
+        rf.min_samples = std::min(rf.min_samples, used.samples);
+        rf.min_accuracy = std::min(rf.min_accuracy, used.accuracy);
+      }
+      rf.min_accuracy = std::min(rf.min_accuracy, l.capacity.accuracy);
+    }
+    for (const std::string& name : path->nodes) {
+      const auto it = std::find(constrained_nodes.begin(),
+                                constrained_nodes.end(), name);
+      if (it != constrained_nodes.end())
+        rf.resources.push_back(
+            2 * nl + static_cast<std::size_t>(
+                         it - constrained_nodes.begin()));
+    }
+  }
+
+  // Route the multicast trees: the resource set is the union over the
+  // per-receiver paths (each tree link charged once), latency is the
+  // farthest receiver's.
+  struct RoutedMulticast {
+    std::vector<std::size_t> resources;
+    Seconds latency = 0;
+    double min_accuracy = 1.0;
+    bool routable = true;
+  };
+  std::vector<RoutedMulticast> routed_mc(query.multicast.size());
+  for (std::size_t i = 0; i < query.multicast.size(); ++i) {
+    const MulticastRequest& m = query.multicast[i];
+    RoutedMulticast& rm = routed_mc[i];
+    std::set<std::size_t> union_resources;
+    const RouteTree tree = graph.routes_from(m.src);
+    for (const std::string& dst : m.dsts) {
+      const auto path = tree.path_to(dst);
+      if (!path) {
+        rm.routable = false;
+        break;
+      }
+      Seconds leaf_latency = 0;
+      for (std::size_t k = 0; k < path->link_indices.size(); ++k) {
+        const std::size_t li = path->link_indices[k];
+        const GraphLink& l = graph.links()[li];
+        const bool forward = path->nodes[k] == l.a;
+        union_resources.insert(2 * li + (forward ? 0 : 1));
+        leaf_latency += l.latency.quartiles.median;
+        const Measurement& used = forward ? l.used_ab : l.used_ba;
+        if (used.known())
+          rm.min_accuracy = std::min(rm.min_accuracy, used.accuracy);
+      }
+      rm.latency = std::max(rm.latency, leaf_latency);
+      for (const std::string& name : path->nodes) {
+        const auto it = std::find(constrained_nodes.begin(),
+                                  constrained_nodes.end(), name);
+        if (it != constrained_nodes.end())
+          union_resources.insert(
+              2 * nl + static_cast<std::size_t>(
+                           it - constrained_nodes.begin()));
+      }
+    }
+    rm.resources.assign(union_resources.begin(), union_resources.end());
+  }
+
+  // Evaluate the staged allocation under each background scenario.
+  constexpr std::size_t kScenarios = 5;
+  std::vector<std::array<double, kScenarios>> grants(
+      all.size(), std::array<double, kScenarios>{});
+  std::vector<bool> satisfied_median(all.size(), false);
+  std::vector<std::array<double, kScenarios>> mc_grants(
+      query.multicast.size(), std::array<double, kScenarios>{});
+  std::vector<bool> mc_satisfied(query.multicast.size(), false);
+
+  for (std::size_t s = 0; s < kScenarios; ++s) {
+    std::vector<double> residual(2 * nl + constrained_nodes.size());
+    for (std::size_t r = 0; r < 2 * nl; ++r)
+      residual[r] =
+          std::max(0.0, dir_capacity[r] - used_at(*dir_used[r], s));
+    for (std::size_t k = 0; k < constrained_nodes.size(); ++k)
+      residual[2 * nl + k] = node_capacity[k];
+
+    // Stage 1: fixed flows, in query order (first come, first admitted).
+    for (std::size_t i = 0; i < query.fixed.size(); ++i) {
+      RoutedFlow& rf = routed[i];
+      if (!rf.routable) continue;
+      double bottleneck = std::numeric_limits<double>::infinity();
+      for (std::size_t r : rf.resources)
+        bottleneck = std::min(bottleneck, residual[r]);
+      const double grant = std::min(rf.request->requested, bottleneck);
+      grants[i][s] = grant;
+      for (std::size_t r : rf.resources) residual[r] -= grant;
+      if (s == 2)
+        satisfied_median[i] = grant >= rf.request->requested * (1 - 1e-9);
+    }
+
+    // Stage 1b: multicast trees, admitted after the unicast fixed class.
+    for (std::size_t i = 0; i < query.multicast.size(); ++i) {
+      RoutedMulticast& rm = routed_mc[i];
+      if (!rm.routable) continue;
+      double bottleneck = std::numeric_limits<double>::infinity();
+      for (std::size_t r : rm.resources)
+        bottleneck = std::min(bottleneck, residual[r]);
+      const double grant =
+          std::min(query.multicast[i].requested, bottleneck);
+      mc_grants[i][s] = grant;
+      for (std::size_t r : rm.resources) residual[r] -= grant;
+      if (s == 2)
+        mc_satisfied[i] =
+            grant >= query.multicast[i].requested * (1 - 1e-9);
+    }
+
+    // Stage 2: variable flows, weighted max-min on the residual.
+    if (!query.variable.empty()) {
+      std::vector<netsim::MaxMinFlow> specs;
+      std::vector<std::size_t> index;  // into routed/grants
+      for (std::size_t i = 0; i < query.variable.size(); ++i) {
+        const std::size_t gi = query.fixed.size() + i;
+        if (!routed[gi].routable) continue;
+        netsim::MaxMinFlow spec;
+        spec.resources = routed[gi].resources;
+        spec.weight = std::max(routed[gi].request->requested, 1e-9);
+        specs.push_back(std::move(spec));
+        index.push_back(gi);
+      }
+      if (!specs.empty()) {
+        const auto result = netsim::max_min_allocate(residual, specs);
+        for (std::size_t k = 0; k < index.size(); ++k) {
+          grants[index[k]][s] = result.rates[k];
+          if (s == 2) satisfied_median[index[k]] = true;
+        }
+        residual = result.residual;
+      }
+    }
+
+    // Stage 3: the independent flow absorbs the leftover bottleneck.
+    if (query.independent) {
+      const std::size_t gi = all.size() - 1;
+      RoutedFlow& rf = routed[gi];
+      if (rf.routable) {
+        double bottleneck = std::numeric_limits<double>::infinity();
+        for (std::size_t r : rf.resources)
+          bottleneck = std::min(bottleneck, residual[r]);
+        grants[gi][s] = rf.resources.empty() ? 0.0 : bottleneck;
+        if (s == 2) satisfied_median[gi] = true;
+      }
+    }
+  }
+
+  // Assemble results: quartiles across scenarios (scenario 0 = least
+  // background usage = highest grant, so reverse into ascending order).
+  auto to_result = [&](std::size_t i) {
+    FlowResult out;
+    out.request = *all[i];
+    out.routable = routed[i].routable;
+    if (!routed[i].routable) return out;
+    std::vector<double> g(grants[i].begin(), grants[i].end());
+    out.bandwidth = Measurement::from_samples(g);
+    out.bandwidth.samples = routed[i].min_samples ==
+                                    std::numeric_limits<std::size_t>::max()
+                                ? 1
+                                : routed[i].min_samples;
+    out.bandwidth.accuracy = routed[i].min_accuracy;
+    out.latency = Measurement::exact(routed[i].latency);
+    out.satisfied = satisfied_median[i];
+    return out;
+  };
+
+  FlowQueryResult result;
+  for (std::size_t i = 0; i < query.fixed.size(); ++i)
+    result.fixed.push_back(to_result(i));
+  for (std::size_t i = 0; i < query.multicast.size(); ++i) {
+    MulticastResult out;
+    out.request = query.multicast[i];
+    out.routable = routed_mc[i].routable;
+    if (out.routable) {
+      std::vector<double> g(mc_grants[i].begin(), mc_grants[i].end());
+      out.bandwidth = Measurement::from_samples(g);
+      out.bandwidth.accuracy = routed_mc[i].min_accuracy;
+      out.latency = Measurement::exact(routed_mc[i].latency);
+      out.satisfied = mc_satisfied[i];
+    }
+    result.multicast.push_back(std::move(out));
+  }
+  for (std::size_t i = 0; i < query.variable.size(); ++i)
+    result.variable.push_back(to_result(query.fixed.size() + i));
+  if (query.independent) result.independent = to_result(all.size() - 1);
+  return result;
+}
+
+}  // namespace remos::core

@@ -1,0 +1,67 @@
+// The Remos Modeler (paper §5): the library an application links against.
+//
+// "It satisfies application requests based on the information provided by
+// the Collector.  The primary tasks of the modeler are: generating a
+// logical topology, associating appropriate static and dynamic information
+// with each of the network components, and satisfying flow requests based
+// on the logical topology."
+//
+// The Modeler holds no measurement state of its own -- it reads the
+// collector's live model at query time, so every query reflects the most
+// recent polls.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "collector/collector.hpp"
+#include "collector/collector_set.hpp"
+#include "core/flows.hpp"
+#include "core/graph.hpp"
+#include "core/logical.hpp"
+#include "core/predictor.hpp"
+
+namespace remos::core {
+
+class Modeler {
+ public:
+  /// Serves queries from one collector's live model.
+  explicit Modeler(const collector::Collector& collector);
+  /// Serves queries from the merged view of cooperating collectors.
+  explicit Modeler(const collector::CollectorSet& set);
+
+  /// Queries are windowed relative to "now"; by default that is the
+  /// newest sample timestamp in the model.  Wire the simulator clock in
+  /// with set_clock for live use.
+  void set_clock(std::function<Seconds()> clock);
+
+  /// Replaces the kFuture predictor (default: EWMA 0.3).
+  void set_predictor(std::unique_ptr<Predictor> predictor);
+
+  /// remos_get_graph: the logical topology relevant to `nodes`, annotated
+  /// for `timeframe`.
+  NetworkGraph get_graph(const std::vector<std::string>& nodes,
+                         const Timeframe& timeframe,
+                         const LogicalOptions& options = {}) const;
+
+  /// remos_flow_info: resolves a simultaneous three-class flow query
+  /// against the logical topology, honoring max-min sharing between the
+  /// queried flows and the measured background traffic.
+  FlowQueryResult flow_info(const FlowQuery& query) const;
+
+  /// Number of queries answered (overhead bookkeeping for the ablation).
+  std::size_t queries_answered() const { return queries_answered_; }
+
+ private:
+  const collector::NetworkModel& model() const;
+  Seconds now(const collector::NetworkModel& m) const;
+
+  const collector::Collector* single_ = nullptr;
+  const collector::CollectorSet* set_ = nullptr;
+  mutable collector::NetworkModel merged_cache_;
+  std::function<Seconds()> clock_;
+  std::unique_ptr<Predictor> predictor_ = make_default_predictor();
+  mutable std::size_t queries_answered_ = 0;
+};
+
+}  // namespace remos::core

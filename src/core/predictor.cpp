@@ -1,0 +1,75 @@
+#include "core/predictor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace remos::core {
+
+Predictor::~Predictor() = default;
+
+namespace {
+
+std::vector<double> values_of(const std::vector<TimedSample>& samples) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const TimedSample& s : samples) out.push_back(s.value);
+  return out;
+}
+
+/// Window dispersion around an arbitrary center: keeps honest error bars
+/// even when the point forecast is not the window median.
+Measurement around(double center, const std::vector<TimedSample>& samples) {
+  Measurement base = Measurement::from_samples(values_of(samples));
+  const double shift = center - base.quartiles.median;
+  Measurement out = base;
+  out.quartiles.min += shift;
+  out.quartiles.q1 += shift;
+  out.quartiles.median = center;
+  out.quartiles.q3 += shift;
+  out.quartiles.max += shift;
+  out.mean = center;
+  // Clamp: a bandwidth forecast cannot be negative.
+  out.quartiles.min = std::max(0.0, out.quartiles.min);
+  out.quartiles.q1 = std::max(out.quartiles.min, out.quartiles.q1);
+  return out;
+}
+
+}  // namespace
+
+Measurement LastValuePredictor::predict(
+    const std::vector<TimedSample>& samples) const {
+  if (samples.empty()) return Measurement{};
+  return around(samples.back().value, samples);
+}
+
+Measurement WindowMeanPredictor::predict(
+    const std::vector<TimedSample>& samples) const {
+  if (samples.empty()) return Measurement{};
+  return Measurement::from_samples(values_of(samples));
+}
+
+EwmaPredictor::EwmaPredictor(double alpha) : alpha_(alpha) {
+  if (alpha <= 0.0 || alpha > 1.0)
+    throw InvalidArgument("EwmaPredictor: alpha outside (0,1]");
+}
+
+std::string EwmaPredictor::name() const {
+  return "ewma(" + fixed(alpha_, 2) + ")";
+}
+
+Measurement EwmaPredictor::predict(
+    const std::vector<TimedSample>& samples) const {
+  if (samples.empty()) return Measurement{};
+  double state = samples.front().value;
+  for (std::size_t i = 1; i < samples.size(); ++i)
+    state = alpha_ * samples[i].value + (1.0 - alpha_) * state;
+  return around(state, samples);
+}
+
+std::unique_ptr<Predictor> make_default_predictor() {
+  return std::make_unique<EwmaPredictor>(0.3);
+}
+
+}  // namespace remos::core

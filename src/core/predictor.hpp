@@ -1,0 +1,65 @@
+// Predictors for kFuture timeframes (paper §4.4: "Remos supports ...
+// prediction of expected future performance.  Initial implementations may
+// ... use a simplistic model to predict future performance from current
+// and historical data.").
+//
+// A predictor turns a window of (time, value) observations into a
+// Measurement describing the expected value over a future horizon.  The
+// spread of the returned quartiles reflects the dispersion of the window
+// (an honest "we do not know better than history").  The predictor
+// ablation bench compares these on CBR, on-off and Poisson traffic.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace remos::core {
+
+struct TimedSample {
+  Seconds at = 0;
+  double value = 0;
+};
+
+class Predictor {
+ public:
+  virtual ~Predictor();
+  virtual std::string name() const = 0;
+  /// Point forecast + uncertainty for the horizon after `samples`.
+  /// Empty input yields an unknown (accuracy-0) Measurement.
+  virtual Measurement predict(const std::vector<TimedSample>& samples) const = 0;
+};
+
+/// Tomorrow equals today: forecast = most recent observation.
+class LastValuePredictor final : public Predictor {
+ public:
+  std::string name() const override { return "last-value"; }
+  Measurement predict(const std::vector<TimedSample>& samples) const override;
+};
+
+/// Forecast = window mean, quartiles = window quartiles.
+class WindowMeanPredictor final : public Predictor {
+ public:
+  std::string name() const override { return "window-mean"; }
+  Measurement predict(const std::vector<TimedSample>& samples) const override;
+};
+
+/// Exponentially weighted moving average with smoothing factor alpha in
+/// (0, 1]; alpha -> 1 approaches last-value.
+class EwmaPredictor final : public Predictor {
+ public:
+  explicit EwmaPredictor(double alpha);
+  std::string name() const override;
+  Measurement predict(const std::vector<TimedSample>& samples) const override;
+
+ private:
+  double alpha_;
+};
+
+/// The default used by the Modeler for kFuture queries.
+std::unique_ptr<Predictor> make_default_predictor();
+
+}  // namespace remos::core

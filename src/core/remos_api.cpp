@@ -1,0 +1,25 @@
+#include "core/remos_api.hpp"
+
+namespace remos {
+
+void remos_get_graph(const core::Modeler& session,
+                     const std::vector<std::string>& nodes,
+                     core::NetworkGraph& graph,
+                     const core::Timeframe& timeframe) {
+  graph = session.get_graph(nodes, timeframe);
+}
+
+core::FlowQueryResult remos_flow_info(
+    const core::Modeler& session, std::vector<core::FlowRequest> fixed_flows,
+    std::vector<core::FlowRequest> variable_flows,
+    std::optional<core::FlowRequest> independent_flow,
+    const core::Timeframe& timeframe) {
+  core::FlowQuery query;
+  query.fixed = std::move(fixed_flows);
+  query.variable = std::move(variable_flows);
+  query.independent = std::move(independent_flow);
+  query.timeframe = timeframe;
+  return session.flow_info(query);
+}
+
+}  // namespace remos

@@ -1,0 +1,37 @@
+// The Remos query API in the paper's shape.
+//
+// The paper presents two entry points:
+//
+//   remos_get_graph(nodes, graph, timeframe)
+//   remos_flow_info(fixed_flows, variable_flows, independent_flow,
+//                   timeframe)
+//
+// These free functions mirror those signatures over a Modeler session
+// (the paper's Modeler is "a library that can be linked with
+// applications"; the session object carries the link to the collectors).
+// The object-oriented Modeler interface underneath is the primary C++
+// API; these wrappers exist so code written against the paper reads
+// one-to-one.
+#pragma once
+
+#include "core/modeler.hpp"
+
+namespace remos {
+
+/// Fills `graph` with the logical topology relevant to connecting
+/// `nodes`, annotated for `timeframe`.
+void remos_get_graph(const core::Modeler& session,
+                     const std::vector<std::string>& nodes,
+                     core::NetworkGraph& graph,
+                     const core::Timeframe& timeframe);
+
+/// Satisfies the fixed flows first, then the variable flows
+/// simultaneously, and finally the independent flow.  The flow vectors
+/// are filled in to the extent that the requests can be satisfied.
+core::FlowQueryResult remos_flow_info(
+    const core::Modeler& session, std::vector<core::FlowRequest> fixed_flows,
+    std::vector<core::FlowRequest> variable_flows,
+    std::optional<core::FlowRequest> independent_flow,
+    const core::Timeframe& timeframe);
+
+}  // namespace remos

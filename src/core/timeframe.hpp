@@ -1,0 +1,39 @@
+// Variable-timescale queries (paper §4.4).
+//
+// Every Remos query carries a timeframe selecting what the returned
+// numbers mean:
+//   kStatic  -- invariant physical capacities only; no dynamic content.
+//   kCurrent -- most recent measurements ("timeframe = current" in the
+//               paper's §7.3 call).
+//   kHistory -- dynamic properties averaged/quartiled over a trailing
+//               window of the given length.
+//   kFuture  -- expected availability over the given horizon, produced by
+//               a predictor from a trailing window of history.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace remos::core {
+
+struct Timeframe {
+  enum class Kind { kStatic, kCurrent, kHistory, kFuture };
+
+  Kind kind = Kind::kCurrent;
+  /// History window feeding the estimate (kHistory, kFuture).
+  Seconds window = 30.0;
+  /// Prediction horizon (kFuture only).
+  Seconds horizon = 0.0;
+
+  static Timeframe statics() { return {Kind::kStatic, 0, 0}; }
+  static Timeframe current() { return {Kind::kCurrent, 0, 0}; }
+  static Timeframe history(Seconds window) {
+    return {Kind::kHistory, window, 0};
+  }
+  static Timeframe future(Seconds horizon, Seconds window = 30.0) {
+    return {Kind::kFuture, window, horizon};
+  }
+
+  bool operator==(const Timeframe&) const = default;
+};
+
+}  // namespace remos::core

@@ -1,0 +1,98 @@
+#include "fx/adaptation.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace remos::fx {
+
+namespace {
+
+/// used - rate on every quartile, clamped at zero; order is preserved
+/// because the same shift applies to each quantile.
+void credit_back(Measurement& used, BitsPerSec rate) {
+  if (!used.known()) return;
+  for (double* q : {&used.quartiles.min, &used.quartiles.q1,
+                    &used.quartiles.median, &used.quartiles.q3,
+                    &used.quartiles.max, &used.mean})
+    *q = std::max(0.0, *q - rate);
+}
+
+}  // namespace
+
+AdaptationModule::AdaptationModule(const core::Modeler& modeler,
+                                   std::vector<std::string> candidate_nodes,
+                                   std::string start_node, Options options)
+    : modeler_(&modeler),
+      candidates_(std::move(candidate_nodes)),
+      start_(std::move(start_node)),
+      options_(options) {
+  if (candidates_.size() < 2)
+    throw InvalidArgument("AdaptationModule: need at least two candidates");
+  std::sort(candidates_.begin(), candidates_.end());
+  if (!std::binary_search(candidates_.begin(), candidates_.end(), start_))
+    throw InvalidArgument("AdaptationModule: start node not a candidate");
+}
+
+AdaptationModule::Decision AdaptationModule::evaluate(
+    const std::vector<std::string>& current, BitsPerSec own_rate) const {
+  if (current.empty())
+    throw InvalidArgument("AdaptationModule: empty current mapping");
+  for (const std::string& n : current)
+    if (!std::binary_search(candidates_.begin(), candidates_.end(), n))
+      throw InvalidArgument("AdaptationModule: " + n + " not a candidate");
+  ++evaluations_;
+
+  // 1. remos_get_graph over the candidate pool.
+  core::NetworkGraph graph =
+      modeler_->get_graph(candidates_, options_.timeframe);
+
+  // 2. (optionally) credit the application's own traffic back: it moves
+  // with the application, so no candidate mapping should be charged it.
+  if (options_.compensate_own_traffic && own_rate > 0) {
+    for (const std::string& u : current) {
+      for (const std::string& v : current) {
+        if (u == v) continue;
+        const auto path = graph.route(u, v);
+        if (!path) continue;
+        for (std::size_t k = 0; k < path->link_indices.size(); ++k) {
+          core::GraphLink& l =
+              graph.mutable_links()[path->link_indices[k]];
+          const bool forward = path->nodes[k] == l.a;
+          credit_back(forward ? l.used_ab : l.used_ba, own_rate);
+        }
+      }
+    }
+  }
+
+  // 3. distance matrix + clustering from the start node (optionally
+  // penalizing CPU-loaded hosts).
+  const cluster::DistanceMatrix distances(graph, candidates_,
+                                          options_.distance);
+  const cluster::NodeCosts costs =
+      options_.cpu_weight > 0 ? cluster::cpu_costs(graph, options_.cpu_weight)
+                              : cluster::NodeCosts{};
+  const cluster::ClusterResult best =
+      cluster::greedy_cluster(distances, start_, current.size(), costs);
+
+  Decision decision;
+  decision.nodes = best.nodes;
+  decision.best_cost = best.cost;
+  decision.current_cost = cluster::cluster_cost(distances, current, costs);
+
+  // 4. migrate when the relative improvement clears the threshold and the
+  // recommended set actually differs.
+  const std::set<std::string> cur_set(current.begin(), current.end());
+  const std::set<std::string> new_set(best.nodes.begin(), best.nodes.end());
+  const double improvement =
+      decision.current_cost <= 0
+          ? 0
+          : (decision.current_cost - decision.best_cost) /
+                decision.current_cost;
+  decision.migrate =
+      new_set != cur_set && improvement > options_.improvement_threshold;
+  return decision;
+}
+
+}  // namespace remos::fx

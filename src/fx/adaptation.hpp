@@ -1,0 +1,76 @@
+// The adaptation module (paper §6-§7.3).
+//
+// "A network-aware parallel application typically consists of a
+// computation module and an adaptation module. ... Only the adaptation
+// module interacts with tools like Remos."  At each migration point it:
+//   1. calls remos_get_graph for the candidate node pool,
+//   2. derives the pairwise distance matrix from the logical topology,
+//   3. runs the clustering routine from the application's start node,
+//   4. compares the estimated communication performance of the best
+//      cluster with the current mapping and migrates when the improvement
+//      clears a threshold.
+//
+// §8.3 catch: Remos measurements do not distinguish traffic sources, so
+// an application can see *its own* traffic and migrate to avoid itself.
+// With `compensate_own_traffic`, the runtime tells the module what the
+// application currently generates, and the module credits that bandwidth
+// back to the links its current mapping uses before costing it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/clustering.hpp"
+#include "core/modeler.hpp"
+
+namespace remos::fx {
+
+class AdaptationModule {
+ public:
+  struct Options {
+    core::Timeframe timeframe = core::Timeframe::history(10.0);
+    /// Minimum relative cost improvement to migrate; 0 = "whenever the
+    /// potential improvement was positive" (the paper's experiments).
+    double improvement_threshold = 0.0;
+    /// Credit the application's own traffic back to its current links.
+    bool compensate_own_traffic = false;
+    cluster::DistanceOptions distance;
+    /// Weight of host CPU load in the cluster cost (0 = network only;
+    /// §7.2's computation/communication tradeoff).
+    double cpu_weight = 0.0;
+  };
+
+  AdaptationModule(const core::Modeler& modeler,
+                   std::vector<std::string> candidate_nodes,
+                   std::string start_node, Options options);
+  AdaptationModule(const core::Modeler& modeler,
+                   std::vector<std::string> candidate_nodes,
+                   std::string start_node)
+      : AdaptationModule(modeler, std::move(candidate_nodes),
+                         std::move(start_node), Options{}) {}
+
+  struct Decision {
+    bool migrate = false;
+    std::vector<std::string> nodes;  // recommended mapping (size k)
+    double current_cost = 0;
+    double best_cost = 0;
+  };
+
+  /// Evaluates the current mapping against the best cluster of the same
+  /// size.  `own_rate` is the application's own average per-directed-path
+  /// rate between current members (used only when compensating).
+  Decision evaluate(const std::vector<std::string>& current,
+                    BitsPerSec own_rate = 0) const;
+
+  std::size_t evaluations() const { return evaluations_; }
+
+ private:
+  const core::Modeler* modeler_;
+  std::vector<std::string> candidates_;
+  std::string start_;
+  Options options_;
+  mutable std::size_t evaluations_ = 0;
+};
+
+}  // namespace remos::fx

@@ -1,0 +1,71 @@
+// Model of an Fx-compiled data-parallel program (paper §7.1).
+//
+// Fx programs are iterative and synchronous: each outer iteration runs a
+// fixed sequence of phases -- compute phases (data-parallel work, plus an
+// optional non-parallelizable serial part) and collective communication
+// phases (the transpose of a 2-D FFT, the exchanges of Airshed).  Fx's
+// task-parallel support decomposes work into `chunks` logical tasks; a
+// program "compiled for 8 nodes but run on 5" keeps its 8-way
+// decomposition, which costs load imbalance and extra communication --
+// exactly the overhead the paper's Table 3 measures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace remos::fx {
+
+enum class Pattern : std::uint8_t {
+  kAllToAll,   // every task sends to every other (transpose)
+  kRing,       // task i -> task i+1 mod T (pipeline/shift)
+  kBroadcast,  // task 0 -> everyone else
+  kReduce,     // everyone else -> task 0
+};
+
+std::string to_string(Pattern pattern);
+
+struct ComputePhase {
+  /// Work that divides over tasks (seconds on one reference CPU).
+  Seconds parallel_seconds = 0;
+  /// Work that does not parallelize (runs once per iteration).
+  Seconds serial_seconds = 0;
+};
+
+struct CommPhase {
+  Pattern pattern = Pattern::kAllToAll;
+  /// Total logical data volume moved by the phase across all task pairs
+  /// (the dataset size for a transpose).  How much actually crosses the
+  /// network depends on how tasks map onto nodes.
+  Bytes volume = 0;
+};
+
+using Phase = std::variant<ComputePhase, CommPhase>;
+
+struct AppModel {
+  std::string name;
+  std::size_t iterations = 1;
+  std::vector<Phase> phases;  // executed in order, once per iteration
+  /// Task decomposition width fixed at compile time; 0 = "recompiled for
+  /// whatever node count it runs on" (perfect decomposition).
+  std::size_t chunks = 0;
+  /// Fixed software overhead charged per communication phase
+  /// (synchronization, message setup).
+  Seconds per_phase_overhead = 2e-3;
+  /// Cost per compute phase for every *extra* task layer a node hosts
+  /// (context switching, duplicated boundary buffers).  Zero when tasks
+  /// map one-to-one; a program compiled for 8 chunks running on 5 nodes
+  /// pays one layer of this -- the overhead the paper's Table 3 observes
+  /// beyond pure load imbalance.
+  Seconds task_multiplex_overhead = 0;
+
+  /// Tasks for a run on n nodes: chunks if pinned, else n.
+  std::size_t tasks_for(std::size_t n) const {
+    return chunks == 0 ? n : chunks;
+  }
+};
+
+}  // namespace remos::fx

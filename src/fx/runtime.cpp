@@ -1,0 +1,178 @@
+#include "fx/runtime.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace remos::fx {
+
+std::string to_string(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::kAllToAll: return "all-to-all";
+    case Pattern::kRing: return "ring";
+    case Pattern::kBroadcast: return "broadcast";
+    case Pattern::kReduce: return "reduce";
+  }
+  return "?";
+}
+
+FxRuntime::FxRuntime(netsim::Simulator& sim, AppModel app,
+                     std::vector<std::string> nodes, Options options)
+    : sim_(&sim), app_(std::move(app)), nodes_(std::move(nodes)),
+      options_(options) {
+  if (nodes_.empty()) throw InvalidArgument("FxRuntime: no nodes");
+  std::set<std::string> unique(nodes_.begin(), nodes_.end());
+  if (unique.size() != nodes_.size())
+    throw InvalidArgument("FxRuntime: duplicate node in mapping");
+  for (const std::string& n : nodes_) sim_->topology().id_of(n);
+  if (app_.chunks > 0 && app_.chunks < nodes_.size())
+    throw InvalidArgument(
+        "FxRuntime: more nodes than compiled task chunks");
+  if (app_.iterations == 0)
+    throw InvalidArgument("FxRuntime: zero iterations");
+}
+
+void FxRuntime::set_adaptation(AdaptationModule* adaptation) {
+  adaptation_ = adaptation;
+}
+
+Seconds FxRuntime::run_compute(const ComputePhase& phase) const {
+  // Tasks are dealt round-robin onto nodes; the phase lasts as long as
+  // the most loaded / slowest node takes.
+  const std::size_t n = nodes_.size();
+  const std::size_t tasks = app_.tasks_for(n);
+  const double per_task = phase.parallel_seconds / static_cast<double>(tasks);
+  Seconds worst = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t my_tasks = tasks / n + (i < tasks % n ? 1 : 0);
+    // Effective speed folds in competing CPU load on the host.
+    const double speed =
+        sim_->effective_speed(sim_->topology().id_of(nodes_[i]));
+    worst = std::max(worst,
+                     static_cast<double>(my_tasks) * per_task / speed);
+  }
+  const std::size_t layers = (tasks + n - 1) / n;
+  return worst + phase.serial_seconds +
+         static_cast<double>(layers - 1) * app_.task_multiplex_overhead;
+}
+
+Seconds FxRuntime::run_comm(const CommPhase& phase) {
+  const std::size_t n = nodes_.size();
+  const std::size_t tasks = app_.tasks_for(n);
+  if (n == 1 || phase.volume <= 0) return app_.per_phase_overhead;
+
+  // node index hosting task t (round-robin, matching run_compute).
+  auto node_of = [&](std::size_t t) { return t % n; };
+
+  // Aggregate the phase's task-pair volumes into per-node-pair flows;
+  // co-located task pairs exchange through memory and cost nothing.
+  std::map<std::pair<std::size_t, std::size_t>, Bytes> volumes;
+  auto add = [&](std::size_t from_task, std::size_t to_task, Bytes bytes) {
+    const std::size_t a = node_of(from_task);
+    const std::size_t b = node_of(to_task);
+    if (a != b && bytes > 0) volumes[{a, b}] += bytes;
+  };
+  switch (phase.pattern) {
+    case Pattern::kAllToAll: {
+      const Bytes per_pair =
+          phase.volume / static_cast<double>(tasks * tasks);
+      for (std::size_t i = 0; i < tasks; ++i)
+        for (std::size_t j = 0; j < tasks; ++j)
+          if (i != j) add(i, j, per_pair);
+      break;
+    }
+    case Pattern::kRing: {
+      const Bytes per_hop = phase.volume / static_cast<double>(tasks);
+      for (std::size_t i = 0; i < tasks; ++i)
+        add(i, (i + 1) % tasks, per_hop);
+      break;
+    }
+    case Pattern::kBroadcast: {
+      const Bytes per_leaf = phase.volume / static_cast<double>(tasks - 1);
+      for (std::size_t i = 1; i < tasks; ++i) add(0, i, per_leaf);
+      break;
+    }
+    case Pattern::kReduce: {
+      const Bytes per_leaf = phase.volume / static_cast<double>(tasks - 1);
+      for (std::size_t i = 1; i < tasks; ++i) add(i, 0, per_leaf);
+      break;
+    }
+  }
+
+  const Seconds phase_start = sim_->now();
+  std::vector<netsim::FlowId> flows;
+  Seconds worst_latency = 0;
+  for (const auto& [pair, bytes] : volumes) {
+    netsim::FlowOptions opts;
+    opts.volume = bytes;
+    opts.tag = "fx:" + app_.name;
+    const netsim::NodeId src = sim_->topology().id_of(nodes_[pair.first]);
+    const netsim::NodeId dst = sim_->topology().id_of(nodes_[pair.second]);
+    flows.push_back(sim_->start_flow(src, dst, opts));
+    worst_latency =
+        std::max(worst_latency, sim_->routing().path_latency(src, dst));
+  }
+  if (!flows.empty()) sim_->run_until_flows_done(flows);
+  // Synchronous phase epilogue: trailing propagation + software overhead.
+  sim_->run_for(worst_latency + app_.per_phase_overhead);
+  return sim_->now() - phase_start;
+}
+
+RunStats FxRuntime::run() {
+  RunStats stats;
+  stats.mappings.push_back(nodes_);
+  const Seconds t0 = sim_->now();
+
+  // Average rate the app itself pushes per node pair (for own-traffic
+  // compensation): updated after each iteration from observed behavior.
+  BitsPerSec own_rate_estimate = 0;
+  Bytes bytes_per_iter = 0;
+  for (const Phase& p : app_.phases)
+    if (const auto* c = std::get_if<CommPhase>(&p)) bytes_per_iter += c->volume;
+
+  for (std::size_t iter = 0; iter < app_.iterations; ++iter) {
+    // Migration point (not before the first iteration: the initial
+    // mapping was just chosen).
+    if (adaptation_ && iter > 0) {
+      const Seconds adapt_start = sim_->now();
+      sim_->run_for(options_.decision_cost);
+      const auto decision = adaptation_->evaluate(nodes_, own_rate_estimate);
+      if (decision.migrate) {
+        sim_->run_for(options_.migration_cost);
+        nodes_ = decision.nodes;
+        ++stats.migrations;
+        stats.mappings.push_back(nodes_);
+      }
+      stats.adaptation_overhead += sim_->now() - adapt_start;
+    }
+
+    Seconds iter_comm = 0;
+    for (const Phase& phase : app_.phases) {
+      if (const auto* compute = std::get_if<ComputePhase>(&phase)) {
+        const Seconds t = run_compute(*compute);
+        sim_->run_for(t);
+        stats.compute += t;
+      } else {
+        const Seconds t = run_comm(std::get<CommPhase>(phase));
+        stats.communication += t;
+        iter_comm += t;
+      }
+    }
+    // Rough own-traffic estimate: per-iteration bytes spread over the
+    // iteration, per node pair, both directions.
+    const Seconds iter_time = sim_->now() - t0;
+    if (iter_time > 0 && nodes_.size() > 1) {
+      const double pairs =
+          static_cast<double>(nodes_.size() * (nodes_.size() - 1));
+      own_rate_estimate = bytes_per_iter * 8.0 *
+                          static_cast<double>(iter + 1) / iter_time / pairs;
+    }
+    (void)iter_comm;
+  }
+  stats.total = sim_->now() - t0;
+  return stats;
+}
+
+}  // namespace remos::fx

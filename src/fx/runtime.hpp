@@ -1,0 +1,71 @@
+// Execution of an AppModel on the network simulator (the Fx runtime
+// system, enhanced with runtime remapping -- paper §7.1).
+//
+// Phases are synchronous: a compute phase takes as long as its
+// worst-loaded node; a communication phase ends when its last flow
+// drains.  Flows run on the simulator and therefore compete (max-min)
+// with background traffic and with each other -- the internal-sharing
+// effect the Remos flow interface exists to expose.
+//
+// At the start of every iteration after the first, the runtime offers an
+// AdaptationModule (if installed) a migration point: "the set of
+// processors assigned to the active task can be changed at runtime".
+// Migration assumes replicated active data (paper §8.3), so its cost is a
+// fixed synchronization charge, plus the modeled cost of the decision
+// procedure itself.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fx/adaptation.hpp"
+#include "fx/app_model.hpp"
+#include "netsim/simulator.hpp"
+
+namespace remos::fx {
+
+struct RunStats {
+  Seconds total = 0;
+  Seconds compute = 0;
+  Seconds communication = 0;
+  Seconds adaptation_overhead = 0;  // decisions + migrations
+  std::size_t migrations = 0;
+  std::vector<std::vector<std::string>> mappings;  // every mapping used
+};
+
+class FxRuntime {
+ public:
+  struct Options {
+    /// Wall-clock charged per adaptation decision (cluster analysis).
+    Seconds decision_cost = 1.5;
+    /// Wall-clock charged per actual migration (remap + resync).
+    Seconds migration_cost = 2.0;
+  };
+
+  FxRuntime(netsim::Simulator& sim, AppModel app,
+            std::vector<std::string> nodes, Options options);
+  FxRuntime(netsim::Simulator& sim, AppModel app,
+            std::vector<std::string> nodes)
+      : FxRuntime(sim, std::move(app), std::move(nodes), Options{}) {}
+
+  /// Installs runtime adaptation; the module must outlive run().
+  void set_adaptation(AdaptationModule* adaptation);
+
+  /// Runs the program to completion, advancing the simulator.
+  RunStats run();
+
+  const std::vector<std::string>& nodes() const { return nodes_; }
+
+ private:
+  Seconds run_compute(const ComputePhase& phase) const;
+  Seconds run_comm(const CommPhase& phase);
+
+  netsim::Simulator* sim_;
+  AppModel app_;
+  std::vector<std::string> nodes_;
+  Options options_;
+  AdaptationModule* adaptation_ = nullptr;
+};
+
+}  // namespace remos::fx

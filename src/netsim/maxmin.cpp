@@ -1,0 +1,187 @@
+#include "netsim/maxmin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace remos::netsim {
+
+namespace {
+
+void validate(const std::vector<double>& capacity,
+              const std::vector<MaxMinFlow>& flows) {
+  for (double c : capacity)
+    if (c < 0 || std::isnan(c))
+      throw InvalidArgument("max_min_allocate: negative/NaN capacity");
+  for (const MaxMinFlow& f : flows) {
+    if (f.weight <= 0 || !std::isfinite(f.weight))
+      throw InvalidArgument("max_min_allocate: non-positive weight");
+    if (f.rate_cap < 0 || std::isnan(f.rate_cap))
+      throw InvalidArgument("max_min_allocate: negative/NaN rate cap");
+    for (std::size_t r : f.resources)
+      if (r >= capacity.size())
+        throw InvalidArgument("max_min_allocate: resource index out of range");
+  }
+}
+
+}  // namespace
+
+MaxMinResult max_min_allocate(const std::vector<double>& capacity,
+                              const std::vector<MaxMinFlow>& flows) {
+  validate(capacity, flows);
+  const std::size_t nf = flows.size();
+  const std::size_t nr = capacity.size();
+
+  MaxMinResult out;
+  out.rates.assign(nf, 0.0);
+  out.residual = capacity;
+
+  // active[i]: flow i still grows with the water level.
+  std::vector<bool> active(nf, true);
+  // Weight and count of active flows per resource.  The count matters:
+  // subtracting weights leaves float residue (~1e-16), and a "saturated"
+  // resource with zero remaining flows but ghost weight would pin the
+  // water level forever.
+  std::vector<double> active_weight(nr, 0.0);
+  std::vector<std::size_t> active_count(nr, 0);
+  for (std::size_t i = 0; i < nf; ++i) {
+    for (std::size_t r : flows[i].resources) {
+      active_weight[r] += flows[i].weight;
+      ++active_count[r];
+    }
+  }
+
+  // Flows with no cap and no resources would grow forever; freeze them at
+  // infinity immediately (a flow across a zero-hop path is not rate
+  // limited by the network).
+  std::size_t remaining = 0;
+  for (std::size_t i = 0; i < nf; ++i) {
+    if (flows[i].resources.empty() &&
+        flows[i].rate_cap == kUnlimitedRate) {
+      out.rates[i] = kUnlimitedRate;
+      active[i] = false;
+    } else {
+      ++remaining;
+    }
+  }
+
+  double level = 0.0;  // water level: active flow i has rate weight_i*level
+  // Every iteration freezes at least one flow, so nf + 1 rounds suffice;
+  // exceeding that means a numeric-progress bug and must fail loudly
+  // rather than spin.
+  std::size_t iterations_left = nf + 2;
+  while (remaining > 0) {
+    if (iterations_left-- == 0)
+      throw Error("max_min_allocate: failed to make progress");
+    // Next event: a resource saturates or a flow hits its demand cap.
+    double next_level = kUnlimitedRate;
+    for (std::size_t r = 0; r < nr; ++r) {
+      if (active_count[r] == 0 || active_weight[r] <= 0) continue;
+      const double lvl = level + out.residual[r] / active_weight[r];
+      next_level = std::min(next_level, lvl);
+    }
+    for (std::size_t i = 0; i < nf; ++i) {
+      if (!active[i] || flows[i].rate_cap == kUnlimitedRate) continue;
+      next_level = std::min(next_level, flows[i].rate_cap / flows[i].weight);
+    }
+    if (next_level == kUnlimitedRate) {
+      // No constraint binds the remaining flows (all-infinite capacities).
+      for (std::size_t i = 0; i < nf; ++i)
+        if (active[i]) out.rates[i] = kUnlimitedRate;
+      break;
+    }
+
+    // Advance all active flows to the new level and charge resources.
+    const double delta = next_level - level;
+    if (delta > 0) {
+      for (std::size_t i = 0; i < nf; ++i) {
+        if (!active[i]) continue;
+        out.rates[i] += flows[i].weight * delta;
+        for (std::size_t r : flows[i].resources)
+          out.residual[r] -= flows[i].weight * delta;
+      }
+      for (double& res : out.residual) res = std::max(res, 0.0);
+    }
+    level = next_level;
+
+    // Freeze flows that hit their cap or sit on a saturated resource.
+    constexpr double kEps = 1e-12;
+    for (std::size_t i = 0; i < nf; ++i) {
+      if (!active[i]) continue;
+      bool freeze = flows[i].rate_cap != kUnlimitedRate &&
+                    out.rates[i] >= flows[i].rate_cap - kEps;
+      if (!freeze) {
+        for (std::size_t r : flows[i].resources) {
+          if (out.residual[r] <= kEps * std::max(1.0, capacity[r])) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        active[i] = false;
+        --remaining;
+        for (std::size_t r : flows[i].resources) {
+          active_weight[r] -= flows[i].weight;
+          --active_count[r];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool is_max_min_fair(const std::vector<double>& capacity,
+                     const std::vector<MaxMinFlow>& flows,
+                     const std::vector<double>& rates, double eps) {
+  if (rates.size() != flows.size()) return false;
+  const std::size_t nr = capacity.size();
+  std::vector<double> used(nr, 0.0);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (rates[i] < -eps) return false;
+    if (rates[i] > flows[i].rate_cap + eps) return false;
+    if (std::isinf(rates[i])) {
+      // An infinite rate is only legal if nothing on its path is finite.
+      for (std::size_t r : flows[i].resources)
+        if (std::isfinite(capacity[r])) return false;
+      continue;
+    }
+    for (std::size_t r : flows[i].resources) used[r] += rates[i];
+  }
+  // Feasibility.
+  for (std::size_t r = 0; r < nr; ++r) {
+    const double slack_eps = eps * std::max(1.0, capacity[r]);
+    if (used[r] > capacity[r] + slack_eps) return false;
+  }
+  // Max-min property: every flow below its cap must traverse a resource
+  // that is saturated AND on which it has the (weakly) largest weighted
+  // rate among the flows using that resource.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (rates[i] >= flows[i].rate_cap - eps) continue;  // demand-limited
+    bool justified = false;
+    for (std::size_t r : flows[i].resources) {
+      const double slack_eps = eps * std::max(1.0, capacity[r]);
+      if (used[r] < capacity[r] - slack_eps) continue;  // not saturated
+      bool largest_here = true;
+      const double my_norm = rates[i] / flows[i].weight;
+      for (std::size_t j = 0; j < flows.size(); ++j) {
+        if (j == i) continue;
+        const auto& res_j = flows[j].resources;
+        if (std::find(res_j.begin(), res_j.end(), r) == res_j.end()) continue;
+        if (rates[j] / flows[j].weight > my_norm + eps) {
+          largest_here = false;
+          break;
+        }
+      }
+      if (largest_here) {
+        justified = true;
+        break;
+      }
+    }
+    if (!justified) return false;
+  }
+  return true;
+}
+
+}  // namespace remos::netsim

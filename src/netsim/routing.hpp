@@ -1,0 +1,58 @@
+// Static shortest-path routing over a Topology.
+//
+// Routes are computed once from the topology (IP-style static routing on
+// the paper's testbed): shortest by hop count, ties broken by lower total
+// latency, then by lexicographically smallest node-id sequence so routing
+// is fully deterministic.  Compute nodes never forward traffic -- interior
+// path nodes must be network nodes (hosts are stub-attached, as on the CMU
+// testbed).
+#pragma once
+
+#include <vector>
+
+#include "netsim/topology.hpp"
+
+namespace remos::netsim {
+
+/// A route from src to dst: the node sequence (src first, dst last) and
+/// the link sequence (one shorter).  Empty links with nodes == {src} means
+/// src == dst.
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<LinkId> links;
+
+  std::size_t hops() const { return links.size(); }
+  bool valid() const { return !nodes.empty(); }
+};
+
+/// All-pairs route table, precomputed by per-source Dijkstra.
+class RoutingTable {
+ public:
+  explicit RoutingTable(const Topology& topology);
+
+  /// Routes over a partial network: links whose id maps to false in
+  /// `link_enabled` are ignored (failure/maintenance scenarios).
+  RoutingTable(const Topology& topology,
+               const std::vector<bool>& link_enabled);
+
+  /// Route from src to dst; throws NotFoundError if dst is unreachable.
+  const Path& route(NodeId src, NodeId dst) const;
+
+  /// True if dst is reachable from src.
+  bool reachable(NodeId src, NodeId dst) const;
+
+  /// Total one-way path latency (sum of link latencies).
+  Seconds path_latency(NodeId src, NodeId dst) const;
+
+  /// Minimum link capacity along the route (static bottleneck).
+  BitsPerSec path_capacity(NodeId src, NodeId dst) const;
+
+ private:
+  std::size_t index(NodeId src, NodeId dst) const;
+
+  const Topology* topology_;
+  std::size_t n_;
+  std::vector<Path> paths_;  // n*n entries; invalid Path if unreachable
+};
+
+}  // namespace remos::netsim

@@ -1,0 +1,306 @@
+#include "netsim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace remos::netsim {
+
+namespace {
+// Relative tolerance for "flow has delivered its whole volume".
+constexpr double kDoneEps = 1e-9;
+}  // namespace
+
+Simulator::Simulator(Topology topology)
+    : topology_(std::move(topology)),
+      link_up_(topology_.link_count(), true),
+      cpu_load_(topology_.node_count(), 0.0),
+      routing_(topology_) {
+  const std::size_t nl = topology_.link_count();
+  const std::size_t nn = topology_.node_count();
+  resource_capacity_.assign(2 * nl + nn, 0.0);
+  for (const Link& l : topology_.links()) {
+    resource_capacity_[dir_index(l.id, true)] = l.capacity;
+    resource_capacity_[dir_index(l.id, false)] = l.capacity;
+  }
+  for (const Node& n : topology_.nodes()) {
+    resource_capacity_[2 * nl + static_cast<std::size_t>(n.id)] =
+        n.internal_bw > 0 ? n.internal_bw : kUnlimitedRate;
+  }
+  dir_tx_bytes_.assign(2 * nl, 0.0);
+  dir_tx_rate_.assign(2 * nl, 0.0);
+}
+
+FlowId Simulator::start_flow(NodeId src, NodeId dst, FlowOptions options,
+                             FlowCallback on_complete) {
+  if (topology_.node(src).kind != NodeKind::kCompute ||
+      topology_.node(dst).kind != NodeKind::kCompute)
+    throw InvalidArgument("start_flow: endpoints must be compute nodes");
+  if (src == dst) throw InvalidArgument("start_flow: src == dst");
+  if (options.weight <= 0) throw InvalidArgument("start_flow: weight <= 0");
+  if (options.demand_cap <= 0)
+    throw InvalidArgument("start_flow: demand_cap <= 0");
+  if (options.volume <= 0) throw InvalidArgument("start_flow: volume <= 0");
+
+  Flow f;
+  f.id = next_flow_id_++;
+  f.src = src;
+  f.dst = dst;
+  f.options = std::move(options);
+  f.on_complete = std::move(on_complete);
+  f.started = now_;
+  bind_path(f);
+  if (f.stalled && !any_link_down()) {
+    // On an intact network an unreachable pair is a caller error, not a
+    // transient condition.
+    throw NotFoundError("start_flow: no route from " +
+                        topology_.name_of(src) + " to " +
+                        topology_.name_of(dst));
+  }
+  const FlowId id = f.id;
+  flows_.emplace(id, std::move(f));
+  allocation_dirty_ = true;
+  return id;
+}
+
+FlowId Simulator::start_flow(const std::string& src, const std::string& dst,
+                             FlowOptions options, FlowCallback on_complete) {
+  return start_flow(topology_.id_of(src), topology_.id_of(dst),
+                    std::move(options), std::move(on_complete));
+}
+
+void Simulator::bind_path(Flow& f) {
+  f.resources.clear();
+  f.tx_dirs.clear();
+  f.stalled = false;
+  if (!routing_.reachable(f.src, f.dst)) {
+    f.stalled = true;
+    return;
+  }
+  const Path& path = routing_.route(f.src, f.dst);
+  const std::size_t nl = topology_.link_count();
+  for (std::size_t i = 0; i < path.links.size(); ++i) {
+    const Link& l = topology_.link(path.links[i]);
+    const bool from_a = path.nodes[i] == l.a;
+    const std::size_t dir = dir_index(l.id, from_a);
+    f.tx_dirs.push_back(dir);
+    f.resources.push_back(dir);
+  }
+  for (NodeId n : path.nodes) {
+    if (topology_.node(n).internal_bw > 0)
+      f.resources.push_back(2 * nl + static_cast<std::size_t>(n));
+  }
+}
+
+bool Simulator::any_link_down() const {
+  for (bool up : link_up_)
+    if (!up) return true;
+  return false;
+}
+
+void Simulator::set_link_up(LinkId id, bool up) {
+  const Link& link = topology_.link(id);  // bounds check
+  if (link_up_[static_cast<std::size_t>(id)] == up) return;
+  link_up_[static_cast<std::size_t>(id)] = up;
+  resource_capacity_[dir_index(id, true)] = up ? link.capacity : 0.0;
+  resource_capacity_[dir_index(id, false)] = up ? link.capacity : 0.0;
+  routing_ = RoutingTable(topology_, link_up_);
+  for (auto& [fid, flow] : flows_) bind_path(flow);
+  allocation_dirty_ = true;
+}
+
+bool Simulator::link_up(LinkId id) const {
+  topology_.link(id);
+  return link_up_[static_cast<std::size_t>(id)];
+}
+
+void Simulator::set_cpu_load(NodeId id, double load) {
+  if (topology_.node(id).kind != NodeKind::kCompute)
+    throw InvalidArgument("set_cpu_load: not a compute node");
+  if (load < 0.0 || load >= 1.0)
+    throw InvalidArgument("set_cpu_load: load outside [0, 1)");
+  cpu_load_[static_cast<std::size_t>(id)] = load;
+}
+
+double Simulator::cpu_load(NodeId id) const {
+  topology_.node(id);
+  return cpu_load_[static_cast<std::size_t>(id)];
+}
+
+double Simulator::effective_speed(NodeId id) const {
+  return topology_.node(id).cpu_speed * (1.0 - cpu_load(id));
+}
+
+void Simulator::stop_flow(FlowId id) {
+  if (flows_.erase(id) > 0) allocation_dirty_ = true;
+}
+
+bool Simulator::flow_active(FlowId id) const { return flows_.contains(id); }
+
+BitsPerSec Simulator::flow_rate(FlowId id) {
+  if (allocation_dirty_) reallocate();
+  return get_flow(id).rate;
+}
+
+Bytes Simulator::flow_sent(FlowId id) const { return get_flow(id).sent; }
+
+FlowInfo Simulator::flow_info(FlowId id) const {
+  const Flow& f = get_flow(id);
+  return FlowInfo{f.id, f.src, f.dst, f.options, f.sent, f.rate, f.started};
+}
+
+std::vector<FlowInfo> Simulator::active_flows() const {
+  std::vector<FlowInfo> out;
+  out.reserve(flows_.size());
+  for (const auto& [id, f] : flows_)
+    out.push_back(FlowInfo{f.id, f.src, f.dst, f.options, f.sent, f.rate,
+                           f.started});
+  return out;
+}
+
+void Simulator::schedule(Seconds at, Callback fn) {
+  if (at < now_) throw InvalidArgument("schedule: time in the past");
+  if (!fn) throw InvalidArgument("schedule: empty callback");
+  timers_.push(Timer{at, next_timer_seq_++, std::move(fn)});
+}
+
+void Simulator::reallocate() {
+  std::vector<MaxMinFlow> specs;
+  specs.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) {
+    if (f.stalled) continue;
+    MaxMinFlow spec;
+    spec.resources = f.resources;
+    spec.weight = f.options.weight;
+    spec.rate_cap = f.options.demand_cap;
+    specs.push_back(std::move(spec));
+  }
+  const MaxMinResult result = max_min_allocate(resource_capacity_, specs);
+  std::fill(dir_tx_rate_.begin(), dir_tx_rate_.end(), 0.0);
+  std::size_t i = 0;
+  for (auto& [id, f] : flows_) {
+    f.rate = f.stalled ? 0.0 : result.rates[i++];
+    for (std::size_t dir : f.tx_dirs) dir_tx_rate_[dir] += f.rate;
+  }
+  allocation_dirty_ = false;
+}
+
+void Simulator::integrate(Seconds dt) {
+  if (dt <= 0) return;
+  for (auto& [id, f] : flows_) {
+    if (f.rate <= 0) continue;
+    const Bytes moved = f.rate * dt / 8.0;
+    f.sent += moved;
+    for (std::size_t dir : f.tx_dirs) dir_tx_bytes_[dir] += moved;
+  }
+}
+
+bool Simulator::step(Seconds horizon) {
+  if (allocation_dirty_) reallocate();
+
+  // Candidate next event time: earliest timer, earliest flow completion.
+  Seconds t_next = horizon;
+  bool event_before_horizon = false;
+  if (!timers_.empty() && timers_.top().at <= t_next) {
+    t_next = timers_.top().at;
+    event_before_horizon = true;
+  }
+  for (const auto& [id, f] : flows_) {
+    if (f.options.volume == kUnboundedVolume || f.rate <= 0) continue;
+    const Bytes left = f.options.volume - f.sent;
+    const Seconds t_done = now_ + std::max(0.0, left) * 8.0 / f.rate;
+    if (t_done <= t_next) {
+      t_next = t_done;
+      event_before_horizon = true;
+    }
+  }
+
+  integrate(t_next - now_);
+  now_ = t_next;
+
+  // Complete finished flows first (they may be what a timer waits for).
+  std::vector<Flow> finished;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    Flow& f = it->second;
+    if (f.options.volume != kUnboundedVolume &&
+        f.sent >= f.options.volume * (1.0 - kDoneEps)) {
+      f.sent = f.options.volume;
+      finished.push_back(std::move(f));
+      it = flows_.erase(it);
+      allocation_dirty_ = true;
+    } else {
+      ++it;
+    }
+  }
+  for (Flow& f : finished)
+    if (f.on_complete) f.on_complete(f.id);
+
+  // Fire all timers due now (callbacks may schedule more).
+  while (!timers_.empty() && timers_.top().at <= now_) {
+    Callback fn = std::move(const_cast<Timer&>(timers_.top()).fn);
+    timers_.pop();
+    fn();
+  }
+
+  return event_before_horizon;
+}
+
+void Simulator::run_until(Seconds t) {
+  if (t < now_) throw InvalidArgument("run_until: time in the past");
+  while (now_ < t) {
+    if (!step(t)) break;  // reached horizon with no intermediate events
+  }
+  // A timer callback may itself have advanced the clock (re-entrant use,
+  // e.g. an active-probing collector); never move time backwards.
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::run_until_flows_done(const std::vector<FlowId>& ids) {
+  auto pending = [&] {
+    for (FlowId id : ids)
+      if (flows_.contains(id)) return true;
+    return false;
+  };
+  while (pending()) {
+    // Detect deadlock: every tracked flow stalled and no timers remain.
+    if (allocation_dirty_) reallocate();
+    if (timers_.empty()) {
+      bool any_moving = false;
+      for (FlowId id : ids) {
+        auto it = flows_.find(id);
+        if (it != flows_.end() && it->second.rate > 0 &&
+            it->second.options.volume != kUnboundedVolume)
+          any_moving = true;
+      }
+      if (!any_moving)
+        throw Error("run_until_flows_done: flows cannot make progress");
+    }
+    if (!step(std::numeric_limits<Seconds>::infinity()))
+      throw Error("run_until_flows_done: no further events");
+  }
+}
+
+Bytes Simulator::link_tx_bytes(LinkId id, bool from_a) const {
+  topology_.link(id);  // bounds check
+  return dir_tx_bytes_[dir_index(id, from_a)];
+}
+
+BitsPerSec Simulator::link_tx_rate(LinkId id, bool from_a) {
+  topology_.link(id);
+  if (allocation_dirty_) reallocate();
+  return dir_tx_rate_[dir_index(id, from_a)];
+}
+
+double Simulator::link_utilization(LinkId id, bool from_a) {
+  return link_tx_rate(id, from_a) / topology_.link(id).capacity;
+}
+
+const Simulator::Flow& Simulator::get_flow(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end())
+    throw NotFoundError("unknown/completed flow " + std::to_string(id));
+  return it->second;
+}
+
+}  // namespace remos::netsim

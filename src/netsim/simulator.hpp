@@ -1,0 +1,189 @@
+// Fluid-flow, event-driven network simulator.
+//
+// The simulator advances a virtual clock over a Topology.  Traffic is
+// modeled as flows: piecewise-constant-rate streams between compute
+// nodes.  Whenever the flow set changes, the global weighted max-min fair
+// allocation is recomputed over all directed-link and node-backplane
+// resources; between such events, rates are constant and byte counters
+// (per flow and per link direction, the basis of the SNMP ifTable) are
+// integrated exactly.
+//
+// This is the substitution for the paper's physical CMU testbed: the
+// observable quantities Remos consumes -- per-link utilization and the
+// throughput competing flows actually achieve -- are produced directly by
+// the max-min sharing model the paper itself assumes for IP networks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "netsim/maxmin.hpp"
+#include "netsim/routing.hpp"
+#include "netsim/topology.hpp"
+
+namespace remos::netsim {
+
+using FlowId = std::int64_t;
+
+inline constexpr Bytes kUnboundedVolume =
+    std::numeric_limits<Bytes>::infinity();
+
+/// Parameters of a flow.
+struct FlowOptions {
+  /// Max-min fairness weight (TCP-like flows: 1).
+  double weight = 1.0;
+  /// Application demand ceiling; a CBR source sets its rate here.
+  BitsPerSec demand_cap = kUnlimitedRate;
+  /// Total bytes to move; kUnboundedVolume means the flow runs until
+  /// stopped.  Finite flows complete and fire their callback.
+  Bytes volume = kUnboundedVolume;
+  /// Free-form label; lets a network-aware application recognize its own
+  /// traffic in measurements (paper §8.3's self-interference discussion).
+  std::string tag;
+};
+
+/// Read-only view of a live flow.
+struct FlowInfo {
+  FlowId id = -1;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  FlowOptions options;
+  Bytes sent = 0;
+  BitsPerSec rate = 0;
+  Seconds started = 0;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+  using FlowCallback = std::function<void(FlowId)>;
+
+  explicit Simulator(Topology topology);
+
+  const Topology& topology() const { return topology_; }
+  const RoutingTable& routing() const { return routing_; }
+  Seconds now() const { return now_; }
+
+  /// Starts a flow from src to dst along the static route.  The optional
+  /// callback fires when a finite-volume flow completes (not when stopped).
+  FlowId start_flow(NodeId src, NodeId dst, FlowOptions options = {},
+                    FlowCallback on_complete = {});
+  FlowId start_flow(const std::string& src, const std::string& dst,
+                    FlowOptions options = {}, FlowCallback on_complete = {});
+
+  /// Removes a flow; no-op if it already completed.
+  void stop_flow(FlowId id);
+
+  bool flow_active(FlowId id) const;
+  /// Current allocated rate (recomputes the allocation if stale).
+  BitsPerSec flow_rate(FlowId id);
+  Bytes flow_sent(FlowId id) const;
+  FlowInfo flow_info(FlowId id) const;
+  std::size_t active_flow_count() const { return flows_.size(); }
+  std::vector<FlowInfo> active_flows() const;
+
+  /// Schedules a callback at absolute simulated time `at` (>= now).
+  void schedule(Seconds at, Callback fn);
+  void schedule_in(Seconds delay, Callback fn) {
+    schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Advances the clock to `t`, firing timers and completing flows.
+  void run_until(Seconds t);
+  void run_for(Seconds dt) { run_until(now_ + dt); }
+
+  /// Runs until every listed flow has completed (or been stopped).  Throws
+  /// Error if progress stalls (a pending flow with zero rate and no timers
+  /// left that could change that).
+  void run_until_flows_done(const std::vector<FlowId>& ids);
+
+  /// Cumulative bytes transmitted over a link in the a->b (from_a = true)
+  /// or b->a direction.  Monotonic; feeds the SNMP octet counters.
+  Bytes link_tx_bytes(LinkId id, bool from_a) const;
+
+  /// Current aggregate allocated rate on a link direction.
+  BitsPerSec link_tx_rate(LinkId id, bool from_a);
+
+  /// Current utilization fraction of a link direction in [0, 1].
+  double link_utilization(LinkId id, bool from_a);
+
+  /// EXTENSION: takes a link out of service (or restores it).  Routing is
+  /// recomputed over the surviving links and every live flow re-binds to
+  /// its new route; a flow whose endpoints become disconnected stalls at
+  /// zero rate until connectivity returns.  Agents expose the state as
+  /// ifOperStatus.
+  void set_link_up(LinkId id, bool up);
+  bool link_up(LinkId id) const;
+
+  /// Competing CPU load on a compute node, in [0, 1) of one CPU: 0 =
+  /// idle, 0.5 = half the cycles go elsewhere.  Host agents expose it as
+  /// hrProcessorLoad; the Fx runtime's compute phases slow by 1/(1-load).
+  void set_cpu_load(NodeId id, double load);
+  double cpu_load(NodeId id) const;
+  /// Effective relative speed of a node: cpu_speed * (1 - load).
+  double effective_speed(NodeId id) const;
+
+ private:
+  struct Flow {
+    FlowId id;
+    NodeId src;
+    NodeId dst;
+    FlowOptions options;
+    FlowCallback on_complete;
+    std::vector<std::size_t> resources;  // solver resource indices
+    std::vector<std::size_t> tx_dirs;    // directed-link indices for octets
+    Bytes sent = 0;
+    BitsPerSec rate = 0;
+    Seconds started = 0;
+    bool stalled = false;  // no route between endpoints right now
+  };
+
+  struct Timer {
+    Seconds at;
+    std::uint64_t seq;  // FIFO among equal-time timers
+    Callback fn;
+  };
+  struct TimerOrder {
+    bool operator()(const Timer& x, const Timer& y) const {
+      if (x.at != y.at) return x.at > y.at;
+      return x.seq > y.seq;
+    }
+  };
+
+  std::size_t dir_index(LinkId link, bool from_a) const {
+    return 2 * static_cast<std::size_t>(link) + (from_a ? 0 : 1);
+  }
+  /// (Re)computes a flow's route and resource bindings; marks it stalled
+  /// when its endpoints are disconnected.
+  void bind_path(Flow& flow);
+  bool any_link_down() const;
+  void reallocate();
+  /// Moves the clock forward by dt with current rates; integrates bytes.
+  void integrate(Seconds dt);
+  /// Runs one event step, not beyond `horizon`.  Returns false when the
+  /// clock reached the horizon with nothing left to do before it.
+  bool step(Seconds horizon);
+  const Flow& get_flow(FlowId id) const;
+
+  Topology topology_;
+  std::vector<bool> link_up_;
+  std::vector<double> cpu_load_;
+  RoutingTable routing_;
+  Seconds now_ = 0;
+  FlowId next_flow_id_ = 1;
+  std::uint64_t next_timer_seq_ = 0;
+
+  std::map<FlowId, Flow> flows_;  // ordered: deterministic iteration
+  std::priority_queue<Timer, std::vector<Timer>, TimerOrder> timers_;
+  bool allocation_dirty_ = true;
+
+  std::vector<double> resource_capacity_;  // 2*links + nodes
+  std::vector<Bytes> dir_tx_bytes_;        // cumulative, per directed link
+  std::vector<BitsPerSec> dir_tx_rate_;    // current, per directed link
+};
+
+}  // namespace remos::netsim

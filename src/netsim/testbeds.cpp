@@ -1,0 +1,55 @@
+#include "netsim/testbeds.hpp"
+
+namespace remos::netsim {
+
+Topology make_figure1(BitsPerSec internal_bw) {
+  Topology t;
+  const NodeId a = t.add_node("A", NodeKind::kNetwork, internal_bw);
+  const NodeId b = t.add_node("B", NodeKind::kNetwork, internal_bw);
+  for (int i = 1; i <= 8; ++i) {
+    const NodeId host = t.add_node(std::to_string(i), NodeKind::kCompute);
+    t.add_link(host, i <= 4 ? a : b, mbps(10), millis(0.2));
+  }
+  t.add_link(a, b, mbps(100), millis(0.2));
+  return t;
+}
+
+const std::vector<std::string>& CmuNames::hosts() {
+  static const std::vector<std::string> names = {"m-1", "m-2", "m-3", "m-4",
+                                                 "m-5", "m-6", "m-7", "m-8"};
+  return names;
+}
+
+const std::vector<std::string>& CmuNames::routers() {
+  static const std::vector<std::string> names = {"aspen", "timberline",
+                                                 "whiteface"};
+  return names;
+}
+
+Topology make_cmu_testbed(BitsPerSec link_rate, Seconds hop_latency) {
+  Topology t;
+  for (const std::string& r : CmuNames::routers())
+    t.add_node(r, NodeKind::kNetwork);
+  for (const std::string& h : CmuNames::hosts())
+    t.add_node(h, NodeKind::kCompute);
+
+  auto attach = [&](const std::string& host, const std::string& router) {
+    t.add_link(host, router, link_rate, hop_latency);
+  };
+  attach("m-1", "aspen");
+  attach("m-2", "aspen");
+  attach("m-3", "aspen");
+  attach("m-4", "timberline");
+  attach("m-5", "timberline");
+  attach("m-6", "timberline");
+  attach("m-7", "whiteface");
+  attach("m-8", "whiteface");
+
+  // Router triangle: every host pair is at most 3 hops apart (§8.1).
+  t.add_link("aspen", "timberline", link_rate, hop_latency);
+  t.add_link("timberline", "whiteface", link_rate, hop_latency);
+  t.add_link("aspen", "whiteface", link_rate, hop_latency);
+  return t;
+}
+
+}  // namespace remos::netsim

@@ -1,0 +1,40 @@
+// Canonical topologies from the paper.
+//
+// * Figure 1: the didactic 8-host / 2-switch graph used in §4.3 to explain
+//   logical topology and node internal bandwidth.
+// * Figure 3: the CMU IP testbed the experiments ran on -- eight DEC Alpha
+//   endpoints m-1..m-8 behind three PC routers (aspen, timberline,
+//   whiteface) joined by 100 Mbps point-to-point Ethernet.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netsim/topology.hpp"
+
+namespace remos::netsim {
+
+/// Figure 1 of the paper: compute nodes "1".."8" attached by 10 Mbps links
+/// to network nodes "A" and "B", which are joined by a 100 Mbps link.
+/// `internal_bw` is the forwarding capacity of A and B: with 100 Mbps the
+/// access links limit each host to 10 Mbps; with 10 Mbps the two network
+/// nodes themselves bottleneck the aggregate (the paper's two readings of
+/// the same logical graph).  Pass 0 for unlimited.
+Topology make_figure1(BitsPerSec internal_bw);
+
+/// Names of the CMU testbed, kept in one place so experiments and tests
+/// agree on spelling.
+struct CmuNames {
+  static const std::vector<std::string>& hosts();    // m-1 .. m-8
+  static const std::vector<std::string>& routers();  // aspen/timberline/whiteface
+};
+
+/// Figure 3 of the paper: the CMU testbed.  Hosts m-1..m-3 attach to
+/// aspen, m-4..m-6 to timberline, m-7..m-8 to whiteface; the three routers
+/// form a triangle (any host reaches any other within 3 hops).  All links
+/// are 100 Mbps point-to-point Ethernet with a uniform per-hop latency
+/// (the paper's Collector "assumes a fixed per-hop delay").
+Topology make_cmu_testbed(BitsPerSec link_rate = mbps(100),
+                          Seconds hop_latency = millis(0.2));
+
+}  // namespace remos::netsim

@@ -1,0 +1,117 @@
+#include "netsim/topology.hpp"
+
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace remos::netsim {
+
+NodeId Link::other(NodeId n) const {
+  if (n == a) return b;
+  if (n == b) return a;
+  throw InvalidArgument("Link::other: node is not an endpoint");
+}
+
+NodeId Topology::add_node(const std::string& name, NodeKind kind,
+                          BitsPerSec internal_bw, double cpu_speed) {
+  if (name.empty()) throw InvalidArgument("add_node: empty name");
+  if (by_name_.contains(name))
+    throw InvalidArgument("add_node: duplicate name '" + name + "'");
+  if (internal_bw < 0) throw InvalidArgument("add_node: negative internal_bw");
+  if (cpu_speed <= 0) throw InvalidArgument("add_node: non-positive cpu_speed");
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{id, name, kind, internal_bw, cpu_speed});
+  adjacency_.emplace_back();
+  by_name_.emplace(name, id);
+  return id;
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, BitsPerSec capacity,
+                          Seconds latency) {
+  check_node(a);
+  check_node(b);
+  if (a == b) throw InvalidArgument("add_link: self-loop");
+  if (capacity <= 0) throw InvalidArgument("add_link: non-positive capacity");
+  if (latency < 0) throw InvalidArgument("add_link: negative latency");
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{id, a, b, capacity, latency});
+  adjacency_[static_cast<std::size_t>(a)].push_back(id);
+  adjacency_[static_cast<std::size_t>(b)].push_back(id);
+  return id;
+}
+
+LinkId Topology::add_link(const std::string& a, const std::string& b,
+                          BitsPerSec capacity, Seconds latency) {
+  return add_link(id_of(a), id_of(b), capacity, latency);
+}
+
+const Node& Topology::node(NodeId id) const {
+  check_node(id);
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const Link& Topology::link(LinkId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= links_.size())
+    throw NotFoundError("unknown link id " + std::to_string(id));
+  return links_[static_cast<std::size_t>(id)];
+}
+
+NodeId Topology::id_of(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) throw NotFoundError("unknown node '" + name + "'");
+  return it->second;
+}
+
+bool Topology::has_node(const std::string& name) const {
+  return by_name_.contains(name);
+}
+
+const std::vector<LinkId>& Topology::links_at(NodeId id) const {
+  check_node(id);
+  return adjacency_[static_cast<std::size_t>(id)];
+}
+
+LinkId Topology::link_between(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  for (LinkId lid : adjacency_[static_cast<std::size_t>(a)]) {
+    const Link& l = links_[static_cast<std::size_t>(lid)];
+    if (l.other(a) == b) return lid;
+  }
+  return kInvalidLink;
+}
+
+std::vector<NodeId> Topology::compute_nodes() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_)
+    if (n.kind == NodeKind::kCompute) out.push_back(n.id);
+  return out;
+}
+
+bool Topology::connected() const {
+  if (nodes_.empty()) return true;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::deque<NodeId> queue{0};
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!queue.empty()) {
+    const NodeId n = queue.front();
+    queue.pop_front();
+    for (LinkId lid : adjacency_[static_cast<std::size_t>(n)]) {
+      const NodeId m = links_[static_cast<std::size_t>(lid)].other(n);
+      if (!seen[static_cast<std::size_t>(m)]) {
+        seen[static_cast<std::size_t>(m)] = true;
+        ++reached;
+        queue.push_back(m);
+      }
+    }
+  }
+  return reached == nodes_.size();
+}
+
+void Topology::check_node(NodeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size())
+    throw NotFoundError("unknown node id " + std::to_string(id));
+}
+
+}  // namespace remos::netsim

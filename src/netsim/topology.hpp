@@ -1,0 +1,102 @@
+// Physical network topology for the simulation substrate.
+//
+// A networked system in the paper's model consists of compute nodes
+// (hosts), network nodes (routers/switches), and full-duplex physical
+// links.  Links carry a capacity (per direction) and a propagation/
+// forwarding latency.  Network nodes may additionally carry an "internal
+// bandwidth" -- an aggregate forwarding capacity shared by all traffic
+// traversing the node (the paper's Figure 1 uses this to model a shared
+// Ethernet segment as a logical switch node).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace remos::netsim {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+enum class NodeKind : std::uint8_t {
+  kCompute,  // runs applications; can source/sink traffic
+  kNetwork,  // forwards only (router/switch)
+};
+
+struct Node {
+  NodeId id = kInvalidNode;
+  std::string name;
+  NodeKind kind = NodeKind::kCompute;
+  /// Aggregate forwarding capacity through this node; 0 means unlimited.
+  BitsPerSec internal_bw = 0;
+  /// Relative compute speed (1.0 = reference host).  Network nodes: unused.
+  double cpu_speed = 1.0;
+};
+
+struct Link {
+  LinkId id = kInvalidLink;
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  /// Capacity per direction (full duplex).
+  BitsPerSec capacity = 0;
+  /// One-way latency across the link.
+  Seconds latency = 0;
+
+  /// The endpoint opposite `n`; throws if `n` is not an endpoint.
+  NodeId other(NodeId n) const;
+};
+
+/// An immutable-after-construction graph of nodes and links.
+class Topology {
+ public:
+  /// Adds a node; names must be unique and non-empty.
+  NodeId add_node(const std::string& name, NodeKind kind,
+                  BitsPerSec internal_bw = 0, double cpu_speed = 1.0);
+
+  /// Adds a full-duplex link between two distinct existing nodes.
+  LinkId add_link(NodeId a, NodeId b, BitsPerSec capacity, Seconds latency);
+  LinkId add_link(const std::string& a, const std::string& b,
+                  BitsPerSec capacity, Seconds latency);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+
+  const Node& node(NodeId id) const;
+  const Link& link(LinkId id) const;
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Link>& links() const { return links_; }
+
+  /// Resolves a node name; throws NotFoundError if unknown.
+  NodeId id_of(const std::string& name) const;
+  /// True if a node with this name exists.
+  bool has_node(const std::string& name) const;
+  const std::string& name_of(NodeId id) const { return node(id).name; }
+
+  /// Links incident to a node.
+  const std::vector<LinkId>& links_at(NodeId id) const;
+
+  /// The link joining a and b, or kInvalidLink if none.
+  LinkId link_between(NodeId a, NodeId b) const;
+
+  /// All compute-node ids, in id order.
+  std::vector<NodeId> compute_nodes() const;
+
+  /// True if every node can reach every other node.
+  bool connected() const;
+
+ private:
+  void check_node(NodeId id) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;
+  std::unordered_map<std::string, NodeId> by_name_;
+};
+
+}  // namespace remos::netsim

@@ -1,0 +1,127 @@
+#include "netsim/topology_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace remos::netsim {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw InvalidArgument("topology line " + std::to_string(line) + ": " +
+                        what);
+}
+
+double parse_number(const std::string& token, std::size_t line,
+                    const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(token, &used);
+    if (used != token.size()) fail(line, std::string("bad ") + what);
+    return v;
+  } catch (const std::exception&) {
+    fail(line, std::string("bad ") + what + " '" + token + "'");
+  }
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') break;  // trailing comment
+    out.push_back(tok);
+  }
+  return out;
+}
+
+}  // namespace
+
+Topology load_topology(std::istream& in) {
+  Topology topology;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "node") {
+      if (tokens.size() < 3 || tokens.size() > 5)
+        fail(lineno, "node needs: name compute|network "
+                     "[internal_bw_mbps] [cpu_speed]");
+      NodeKind kind;
+      if (tokens[2] == "compute") {
+        kind = NodeKind::kCompute;
+      } else if (tokens[2] == "network") {
+        kind = NodeKind::kNetwork;
+      } else {
+        fail(lineno, "node kind must be 'compute' or 'network', got '" +
+                         tokens[2] + "'");
+      }
+      BitsPerSec internal_bw = 0;
+      double cpu_speed = 1.0;
+      if (tokens.size() >= 4)
+        internal_bw = mbps(parse_number(tokens[3], lineno, "internal_bw"));
+      if (tokens.size() >= 5)
+        cpu_speed = parse_number(tokens[4], lineno, "cpu_speed");
+      try {
+        topology.add_node(tokens[1], kind, internal_bw, cpu_speed);
+      } catch (const Error& e) {
+        fail(lineno, e.what());
+      }
+    } else if (tokens[0] == "link") {
+      if (tokens.size() != 5)
+        fail(lineno, "link needs: a b capacity_mbps latency_ms");
+      const double capacity = parse_number(tokens[3], lineno, "capacity");
+      const double latency = parse_number(tokens[4], lineno, "latency");
+      try {
+        topology.add_link(tokens[1], tokens[2], mbps(capacity),
+                          millis(latency));
+      } catch (const Error& e) {
+        fail(lineno, e.what());
+      }
+    } else {
+      fail(lineno, "unknown directive '" + tokens[0] + "'");
+    }
+  }
+  return topology;
+}
+
+Topology load_topology_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_topology(is);
+}
+
+Topology load_topology_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw NotFoundError("cannot open topology file " + path);
+  return load_topology(in);
+}
+
+void save_topology(const Topology& topology, std::ostream& out) {
+  for (const Node& n : topology.nodes()) {
+    out << "node " << n.name << " "
+        << (n.kind == NodeKind::kCompute ? "compute" : "network");
+    if (n.internal_bw > 0 || n.cpu_speed != 1.0)
+      out << " " << fixed(to_mbps(n.internal_bw), 3);
+    if (n.cpu_speed != 1.0) out << " " << fixed(n.cpu_speed, 3);
+    out << "\n";
+  }
+  for (const Link& l : topology.links()) {
+    out << "link " << topology.name_of(l.a) << " " << topology.name_of(l.b)
+        << " " << fixed(to_mbps(l.capacity), 3) << " "
+        << fixed(l.latency * 1e3, 3) << "\n";
+  }
+}
+
+std::string save_topology_string(const Topology& topology) {
+  std::ostringstream os;
+  save_topology(topology, os);
+  return os.str();
+}
+
+}  // namespace remos::netsim

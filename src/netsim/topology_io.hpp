@@ -1,0 +1,34 @@
+// Text serialization of topologies, so downstream users can describe
+// their own networks without writing C++.
+//
+// Format (one directive per line; '#' starts a comment):
+//
+//   node <name> compute|network [internal_bw_mbps] [cpu_speed]
+//   link <a> <b> <capacity_mbps> <latency_ms>
+//
+// Example (the paper's Figure 1):
+//
+//   # hosts
+//   node 1 compute
+//   node A network 100     # 100 Mbps backplane
+//   link 1 A 10 0.2
+//
+// load_topology throws InvalidArgument with the offending line number on
+// malformed input.  save/load round-trip exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netsim/topology.hpp"
+
+namespace remos::netsim {
+
+Topology load_topology(std::istream& in);
+Topology load_topology_string(const std::string& text);
+Topology load_topology_file(const std::string& path);
+
+void save_topology(const Topology& topology, std::ostream& out);
+std::string save_topology_string(const Topology& topology);
+
+}  // namespace remos::netsim

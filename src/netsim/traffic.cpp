@@ -1,0 +1,127 @@
+#include "netsim/traffic.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace remos::netsim {
+
+CbrTraffic::CbrTraffic(Simulator& sim, NodeId src, NodeId dst,
+                       BitsPerSec rate, double weight, std::string tag)
+    : sim_(sim) {
+  FlowOptions opts;
+  opts.weight = weight;
+  opts.demand_cap = rate;
+  opts.tag = std::move(tag);
+  flow_ = sim_.start_flow(src, dst, std::move(opts));
+}
+
+CbrTraffic::CbrTraffic(Simulator& sim, const std::string& src,
+                       const std::string& dst, BitsPerSec rate, double weight,
+                       std::string tag)
+    : CbrTraffic(sim, sim.topology().id_of(src), sim.topology().id_of(dst),
+                 rate, weight, std::move(tag)) {}
+
+CbrTraffic::~CbrTraffic() { stop(); }
+
+void CbrTraffic::stop() {
+  if (flow_) {
+    sim_.stop_flow(*flow_);
+    flow_.reset();
+  }
+}
+
+FlowId CbrTraffic::flow_id() const {
+  if (!flow_) throw Error("CbrTraffic: stopped");
+  return *flow_;
+}
+
+OnOffTraffic::OnOffTraffic(Simulator& sim, NodeId src, NodeId dst,
+                           Config config)
+    : sim_(sim), src_(src), dst_(dst), config_(config), rng_(config.seed) {
+  if (config_.rate <= 0) throw InvalidArgument("OnOffTraffic: rate <= 0");
+  if (config_.mean_on <= 0 || config_.mean_off <= 0)
+    throw InvalidArgument("OnOffTraffic: non-positive period");
+  turn_on();
+}
+
+OnOffTraffic::~OnOffTraffic() { stop(); }
+
+void OnOffTraffic::stop() {
+  stopped_ = true;
+  ++epoch_;  // orphan any pending timers
+  if (flow_) {
+    sim_.stop_flow(*flow_);
+    flow_.reset();
+  }
+}
+
+void OnOffTraffic::turn_on() {
+  if (stopped_) return;
+  FlowOptions opts;
+  opts.weight = config_.weight;
+  opts.demand_cap = config_.rate;
+  opts.tag = config_.tag;
+  flow_ = sim_.start_flow(src_, dst_, std::move(opts));
+  const Seconds on_for = rng_.exponential(config_.mean_on);
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_in(on_for, [this, epoch] {
+    if (epoch == epoch_) turn_off();
+  });
+}
+
+void OnOffTraffic::turn_off() {
+  if (stopped_) return;
+  if (flow_) {
+    sim_.stop_flow(*flow_);
+    flow_.reset();
+  }
+  const Seconds off_for = rng_.exponential(config_.mean_off);
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_in(off_for, [this, epoch] {
+    if (epoch == epoch_) turn_on();
+  });
+}
+
+PoissonTransfers::PoissonTransfers(Simulator& sim, NodeId src, NodeId dst,
+                                   Config config)
+    : sim_(sim), src_(src), dst_(dst), config_(config), rng_(config.seed) {
+  if (config_.arrivals_per_sec <= 0)
+    throw InvalidArgument("PoissonTransfers: non-positive arrival rate");
+  if (config_.mean_size <= 0)
+    throw InvalidArgument("PoissonTransfers: non-positive mean size");
+  if (config_.pareto_alpha <= 1.0)
+    throw InvalidArgument("PoissonTransfers: alpha must exceed 1");
+  arm_next_arrival();
+}
+
+PoissonTransfers::~PoissonTransfers() { stop(); }
+
+void PoissonTransfers::stop() {
+  stopped_ = true;
+  ++epoch_;
+  // In-flight transfers are finite and drain on their own.
+}
+
+void PoissonTransfers::arm_next_arrival() {
+  if (stopped_) return;
+  const Seconds wait = rng_.exponential(1.0 / config_.arrivals_per_sec);
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_in(wait, [this, epoch] {
+    if (epoch != epoch_) return;
+    // Bounded-Pareto size scaled so the mean matches mean_size:
+    // E[Pareto(xm, a)] = a*xm/(a-1)  =>  xm = mean*(a-1)/a.
+    const double a = config_.pareto_alpha;
+    const double xm = config_.mean_size * (a - 1.0) / a;
+    const Bytes size = std::min(rng_.pareto(xm, a), 100.0 * config_.mean_size);
+    FlowOptions opts;
+    opts.weight = config_.weight;
+    opts.volume = size;
+    opts.tag = config_.tag;
+    sim_.start_flow(src_, dst_, std::move(opts));
+    ++started_;
+    arm_next_arrival();
+  });
+}
+
+}  // namespace remos::netsim

@@ -1,0 +1,117 @@
+// Background-traffic generators.
+//
+// The paper's Table 2/3 experiments inject "a synthetic program that
+// generates significant traffic" between chosen endpoints.  These
+// generators reproduce that role and add the standard shapes used by the
+// collector-accuracy ablations: constant bit-rate, on-off (bursty), and
+// Poisson arrivals of heavy-tailed transfers.
+//
+// Generators hold simulator timers that capture `this`; a generator must
+// outlive the simulation it drives (or be stop()ed first).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "netsim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace remos::netsim {
+
+/// Constant-bit-rate source: one capped, unbounded-volume flow.  A CBR
+/// source models aggressive traffic that does not back off (the 1998
+/// synthetic UDP blaster): its max-min weight can be raised to emulate a
+/// source that claims more than one TCP-fair share.
+class CbrTraffic {
+ public:
+  CbrTraffic(Simulator& sim, NodeId src, NodeId dst, BitsPerSec rate,
+             double weight = 1.0, std::string tag = "cbr");
+  CbrTraffic(Simulator& sim, const std::string& src, const std::string& dst,
+             BitsPerSec rate, double weight = 1.0, std::string tag = "cbr");
+  ~CbrTraffic();
+
+  CbrTraffic(const CbrTraffic&) = delete;
+  CbrTraffic& operator=(const CbrTraffic&) = delete;
+
+  void stop();
+  bool running() const { return flow_.has_value(); }
+  FlowId flow_id() const;
+
+ private:
+  Simulator& sim_;
+  std::optional<FlowId> flow_;
+};
+
+/// On-off source: alternates exponentially distributed on and off periods;
+/// during on-periods it sends at `rate`.  Produces the bimodal availability
+/// distributions that motivate the paper's quartile representation.
+class OnOffTraffic {
+ public:
+  struct Config {
+    BitsPerSec rate = 0;
+    Seconds mean_on = 1.0;
+    Seconds mean_off = 1.0;
+    double weight = 1.0;
+    std::uint64_t seed = 1;
+    std::string tag = "onoff";
+  };
+
+  OnOffTraffic(Simulator& sim, NodeId src, NodeId dst, Config config);
+  ~OnOffTraffic();
+
+  OnOffTraffic(const OnOffTraffic&) = delete;
+  OnOffTraffic& operator=(const OnOffTraffic&) = delete;
+
+  void stop();
+  bool sending() const { return flow_.has_value(); }
+
+ private:
+  void turn_on();
+  void turn_off();
+
+  Simulator& sim_;
+  NodeId src_;
+  NodeId dst_;
+  Config config_;
+  Rng rng_;
+  bool stopped_ = false;
+  std::uint64_t epoch_ = 0;  // invalidates in-flight timers after stop()
+  std::optional<FlowId> flow_;
+};
+
+/// Poisson arrivals of finite transfers with bounded-Pareto sizes, each
+/// sent as a greedy (uncapped) flow -- a web-mix-like aggregate.
+class PoissonTransfers {
+ public:
+  struct Config {
+    double arrivals_per_sec = 1.0;
+    Bytes mean_size = 1e6;
+    double pareto_alpha = 1.5;  // tail index; sizes ~ bounded Pareto
+    double weight = 1.0;
+    std::uint64_t seed = 2;
+    std::string tag = "poisson";
+  };
+
+  PoissonTransfers(Simulator& sim, NodeId src, NodeId dst, Config config);
+  ~PoissonTransfers();
+
+  PoissonTransfers(const PoissonTransfers&) = delete;
+  PoissonTransfers& operator=(const PoissonTransfers&) = delete;
+
+  void stop();
+  std::size_t transfers_started() const { return started_; }
+
+ private:
+  void arm_next_arrival();
+
+  Simulator& sim_;
+  NodeId src_;
+  NodeId dst_;
+  Config config_;
+  Rng rng_;
+  bool stopped_ = false;
+  std::uint64_t epoch_ = 0;
+  std::size_t started_ = 0;
+};
+
+}  // namespace remos::netsim

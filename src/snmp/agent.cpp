@@ -1,0 +1,59 @@
+#include "snmp/agent.hpp"
+
+#include "snmp/codec.hpp"
+#include "util/error.hpp"
+
+namespace remos::snmp {
+
+Pdu Agent::handle(const Pdu& request) const {
+  Pdu response;
+  response.type = PduType::kResponse;
+  response.community = request.community;
+  response.request_id = request.request_id;
+
+  if (request.community != community_) {
+    // Real v2c agents silently drop bad-community requests; we respond
+    // with genErr so tests can observe the rejection deterministically.
+    response.error_status = ErrorStatus::kGenErr;
+    return response;
+  }
+
+  switch (request.type) {
+    case PduType::kGet:
+      for (const VarBind& vb : request.bindings)
+        response.bindings.push_back(VarBind{vb.oid, mib_.get(vb.oid)});
+      break;
+    case PduType::kGetNext:
+      for (const VarBind& vb : request.bindings) {
+        if (const auto next = mib_.get_next(vb.oid)) {
+          response.bindings.push_back(VarBind{next->first, next->second});
+        } else {
+          response.bindings.push_back(
+              VarBind{vb.oid, Value::end_of_mib_view()});
+        }
+      }
+      break;
+    case PduType::kSet:
+      response.bindings = request.bindings;
+      response.error_status = ErrorStatus::kNotWritable;
+      response.error_index = request.bindings.empty() ? 0 : 1;
+      break;
+    case PduType::kResponse:
+      response.error_status = ErrorStatus::kGenErr;
+      break;
+  }
+  return response;
+}
+
+void Agent::bind(Transport& transport, const std::string& address) {
+  transport.bind(address, [this](const std::vector<std::uint8_t>& wire)
+                     -> std::optional<std::vector<std::uint8_t>> {
+    try {
+      return encode(handle(decode(wire)));
+    } catch (const ProtocolError&) {
+      return std::nullopt;  // malformed datagram: drop, like a UDP agent
+    }
+  });
+}
+
+}  // namespace remos::snmp

@@ -1,0 +1,40 @@
+// SNMP agent: serves GET/GETNEXT/SET over a Mib.
+//
+// One agent runs per managed node (in the paper: each router on the
+// testbed).  handle() implements RFC 1905 semantics for the supported
+// operations: GET fills noSuchObject per missing binding, GETNEXT walks in
+// lexicographic order and marks the end of the view, SET is refused
+// (everything Remos reads is read-only instrumentation).
+#pragma once
+
+#include <string>
+
+#include "snmp/mib.hpp"
+#include "snmp/pdu.hpp"
+#include "snmp/transport.hpp"
+
+namespace remos::snmp {
+
+class Agent {
+ public:
+  /// Agents only answer requests carrying this community string.
+  explicit Agent(std::string community = "public")
+      : community_(std::move(community)) {}
+
+  Mib& mib() { return mib_; }
+  const Mib& mib() const { return mib_; }
+
+  /// Processes one request PDU and produces the response.
+  Pdu handle(const Pdu& request) const;
+
+  /// Binds this agent to a transport address (wire-level entry point:
+  /// decodes the datagram, handles it, encodes the response).  The agent
+  /// must outlive the transport binding.
+  void bind(Transport& transport, const std::string& address);
+
+ private:
+  std::string community_;
+  Mib mib_;
+};
+
+}  // namespace remos::snmp

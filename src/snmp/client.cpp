@@ -1,0 +1,82 @@
+#include "snmp/client.hpp"
+
+#include "snmp/codec.hpp"
+#include "util/error.hpp"
+
+namespace remos::snmp {
+
+Client::Client(Transport& transport, std::string agent_address,
+               std::string community)
+    : transport_(&transport),
+      address_(std::move(agent_address)),
+      community_(std::move(community)) {}
+
+Pdu Client::exchange(Pdu request) {
+  request.community = community_;
+  request.request_id = next_request_id_++;
+  const auto wire = transport_->request(address_, encode(request));
+  if (!wire)
+    throw TimeoutError("SNMP: no response from " + address_);
+  Pdu response = decode(*wire);
+  if (response.type != PduType::kResponse)
+    throw ProtocolError("SNMP: non-response PDU from " + address_);
+  if (response.request_id != request.request_id)
+    throw ProtocolError("SNMP: request-id mismatch from " + address_);
+  if (response.error_status != ErrorStatus::kNoError)
+    throw ProtocolError("SNMP: agent error status " +
+                        std::to_string(static_cast<int>(
+                            response.error_status)) +
+                        " from " + address_);
+  return response;
+}
+
+Value Client::get(const Oid& oid) {
+  Pdu request;
+  request.type = PduType::kGet;
+  request.bindings.push_back(VarBind{oid, Value::null()});
+  const Pdu response = exchange(std::move(request));
+  if (response.bindings.size() != 1)
+    throw ProtocolError("SNMP: wrong varbind count in GET response");
+  const Value& v = response.bindings[0].value;
+  if (v.type() == ValueType::kNoSuchObject)
+    throw NotFoundError("SNMP: " + oid.to_string() + " not in " + address_);
+  return v;
+}
+
+std::vector<VarBind> Client::get_many(const std::vector<Oid>& oids) {
+  Pdu request;
+  request.type = PduType::kGet;
+  for (const Oid& oid : oids)
+    request.bindings.push_back(VarBind{oid, Value::null()});
+  Pdu response = exchange(std::move(request));
+  if (response.bindings.size() != oids.size())
+    throw ProtocolError("SNMP: wrong varbind count in GET response");
+  return std::move(response.bindings);
+}
+
+VarBind Client::get_next(const Oid& oid) {
+  Pdu request;
+  request.type = PduType::kGetNext;
+  request.bindings.push_back(VarBind{oid, Value::null()});
+  Pdu response = exchange(std::move(request));
+  if (response.bindings.size() != 1)
+    throw ProtocolError("SNMP: wrong varbind count in GETNEXT response");
+  return std::move(response.bindings[0]);
+}
+
+std::vector<VarBind> Client::walk(const Oid& prefix) {
+  std::vector<VarBind> out;
+  Oid cursor = prefix;
+  while (true) {
+    VarBind vb = get_next(cursor);
+    if (vb.value.type() == ValueType::kEndOfMibView) break;
+    if (!vb.oid.starts_with(prefix)) break;  // left the subtree
+    if (!out.empty() && vb.oid <= out.back().oid)
+      throw ProtocolError("SNMP: walk did not advance (agent bug?)");
+    cursor = vb.oid;
+    out.push_back(std::move(vb));
+  }
+  return out;
+}
+
+}  // namespace remos::snmp

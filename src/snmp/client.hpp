@@ -1,0 +1,47 @@
+// SNMP client: typed GET/GETNEXT/walk over a Transport.
+//
+// This is the collector's only channel to the network -- it never touches
+// simulator state directly, mirroring the paper's architecture where the
+// Collector speaks SNMP to routers it does not control.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snmp/pdu.hpp"
+#include "snmp/transport.hpp"
+
+namespace remos::snmp {
+
+class Client {
+ public:
+  Client(Transport& transport, std::string agent_address,
+         std::string community = "public");
+
+  /// GET of a single object; throws TimeoutError if the agent never
+  /// answers, ProtocolError on a broken response, NotFoundError if the
+  /// agent reports noSuchObject.
+  Value get(const Oid& oid);
+
+  /// GET of several objects in one PDU (one round-trip).
+  std::vector<VarBind> get_many(const std::vector<Oid>& oids);
+
+  /// Raw GETNEXT step.
+  VarBind get_next(const Oid& oid);
+
+  /// Walks the subtree under `prefix` via repeated GETNEXT.
+  std::vector<VarBind> walk(const Oid& prefix);
+
+  const std::string& address() const { return address_; }
+
+ private:
+  Pdu exchange(Pdu request);
+
+  Transport* transport_;
+  std::string address_;
+  std::string community_;
+  std::int32_t next_request_id_ = 1;
+};
+
+}  // namespace remos::snmp

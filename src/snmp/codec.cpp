@@ -1,0 +1,345 @@
+#include "snmp/codec.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace remos::snmp {
+
+namespace {
+
+// BER universal tags and SNMP application/context tags.
+constexpr std::uint8_t kTagInteger = 0x02;
+constexpr std::uint8_t kTagOctetString = 0x04;
+constexpr std::uint8_t kTagNull = 0x05;
+constexpr std::uint8_t kTagOid = 0x06;
+constexpr std::uint8_t kTagSequence = 0x30;
+constexpr std::uint8_t kTagCounter32 = 0x41;
+constexpr std::uint8_t kTagGauge32 = 0x42;
+constexpr std::uint8_t kTagTimeTicks = 0x43;
+constexpr std::uint8_t kTagNoSuchObject = 0x80;
+constexpr std::uint8_t kTagEndOfMibView = 0x82;
+constexpr std::uint8_t kTagPduBase = 0xA0;  // + PduType
+constexpr std::int64_t kSnmpVersion2c = 1;
+
+using Bytes = std::vector<std::uint8_t>;
+
+// ---------- encoding ----------
+
+void put_length(Bytes& out, std::size_t len) {
+  if (len < 0x80) {
+    out.push_back(static_cast<std::uint8_t>(len));
+    return;
+  }
+  Bytes digits;
+  while (len > 0) {
+    digits.push_back(static_cast<std::uint8_t>(len & 0xFF));
+    len >>= 8;
+  }
+  out.push_back(static_cast<std::uint8_t>(0x80 | digits.size()));
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it)
+    out.push_back(*it);
+}
+
+void put_tlv(Bytes& out, std::uint8_t tag, const Bytes& content) {
+  out.push_back(tag);
+  put_length(out, content.size());
+  out.insert(out.end(), content.begin(), content.end());
+}
+
+Bytes encode_integer_content(std::int64_t v) {
+  // Minimal-length two's complement.
+  Bytes digits;
+  while (true) {
+    digits.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    const std::int64_t rest = v >> 8;
+    const bool sign_ok = (rest == 0 && !(digits.back() & 0x80)) ||
+                         (rest == -1 && (digits.back() & 0x80));
+    if (sign_ok) break;
+    v = rest;
+  }
+  return Bytes(digits.rbegin(), digits.rend());
+}
+
+void put_integer(Bytes& out, std::uint8_t tag, std::int64_t v) {
+  put_tlv(out, tag, encode_integer_content(v));
+}
+
+void put_unsigned(Bytes& out, std::uint8_t tag, std::uint32_t v) {
+  // Counter32/Gauge32/TimeTicks are encoded as unsigned: prepend a zero
+  // octet if the leading bit would read as a sign.
+  Bytes digits;
+  std::uint64_t x = v;
+  do {
+    digits.push_back(static_cast<std::uint8_t>(x & 0xFF));
+    x >>= 8;
+  } while (x > 0);
+  if (digits.back() & 0x80) digits.push_back(0x00);
+  put_tlv(out, tag, Bytes(digits.rbegin(), digits.rend()));
+}
+
+Bytes encode_oid_content(const Oid& oid) {
+  if (oid.size() < 2)
+    throw ProtocolError("encode: OID needs at least two arcs");
+  if (oid[0] > 2 || oid[1] >= 40)
+    throw ProtocolError("encode: first two OID arcs out of range");
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(oid[0] * 40 + oid[1]));
+  for (std::size_t i = 2; i < oid.size(); ++i) {
+    std::uint32_t arc = oid[i];
+    Bytes groups;
+    do {
+      groups.push_back(static_cast<std::uint8_t>(arc & 0x7F));
+      arc >>= 7;
+    } while (arc > 0);
+    for (std::size_t j = groups.size(); j-- > 1;)
+      out.push_back(static_cast<std::uint8_t>(groups[j] | 0x80));
+    out.push_back(groups[0]);
+  }
+  return out;
+}
+
+void put_value(Bytes& out, const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      put_tlv(out, kTagNull, {});
+      break;
+    case ValueType::kInteger:
+      put_integer(out, kTagInteger, value.as_integer());
+      break;
+    case ValueType::kCounter32:
+      put_unsigned(out, kTagCounter32, value.as_counter32());
+      break;
+    case ValueType::kGauge32:
+      put_unsigned(out, kTagGauge32, value.as_gauge32());
+      break;
+    case ValueType::kTimeTicks:
+      put_unsigned(out, kTagTimeTicks, value.as_time_ticks());
+      break;
+    case ValueType::kOctetString: {
+      const std::string& s = value.as_octets();
+      put_tlv(out, kTagOctetString, Bytes(s.begin(), s.end()));
+      break;
+    }
+    case ValueType::kObjectId:
+      put_tlv(out, kTagOid, encode_oid_content(value.as_object_id()));
+      break;
+    case ValueType::kNoSuchObject:
+      put_tlv(out, kTagNoSuchObject, {});
+      break;
+    case ValueType::kEndOfMibView:
+      put_tlv(out, kTagEndOfMibView, {});
+      break;
+  }
+}
+
+// ---------- decoding ----------
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool done() const { return pos_ >= data_.size(); }
+
+  std::uint8_t peek_tag() const {
+    require(1);
+    return data_[pos_];
+  }
+
+  /// Reads one TLV header; returns (tag, content reader) and advances
+  /// past the whole element.
+  std::pair<std::uint8_t, Reader> read_tlv() {
+    require(1);
+    const std::uint8_t tag = data_[pos_++];
+    const std::size_t len = read_length();
+    require(len);
+    Reader content(data_.subspan(pos_, len));
+    pos_ += len;
+    return {tag, content};
+  }
+
+  Reader expect(std::uint8_t tag) {
+    auto [got, content] = read_tlv();
+    if (got != tag)
+      throw ProtocolError("decode: expected tag " + std::to_string(tag) +
+                          ", got " + std::to_string(got));
+    return content;
+  }
+
+  std::int64_t read_integer(std::uint8_t tag = kTagInteger) {
+    Reader c = expect(tag);
+    if (c.data_.empty()) throw ProtocolError("decode: empty INTEGER");
+    if (c.data_.size() > 8) throw ProtocolError("decode: INTEGER too wide");
+    std::int64_t v = (c.data_[0] & 0x80) ? -1 : 0;
+    for (std::uint8_t byte : c.data_) v = (v << 8) | byte;
+    return v;
+  }
+
+  std::uint32_t read_unsigned(std::uint8_t tag) {
+    Reader c = expect(tag);
+    if (c.data_.empty()) throw ProtocolError("decode: empty unsigned");
+    if (c.data_.size() > 5 || (c.data_.size() == 5 && c.data_[0] != 0))
+      throw ProtocolError("decode: unsigned too wide");
+    std::uint64_t v = 0;
+    for (std::uint8_t byte : c.data_) v = (v << 8) | byte;
+    if (v > std::numeric_limits<std::uint32_t>::max())
+      throw ProtocolError("decode: unsigned exceeds 32 bits");
+    return static_cast<std::uint32_t>(v);
+  }
+
+  std::string read_octets() {
+    Reader c = expect(kTagOctetString);
+    return std::string(c.data_.begin(), c.data_.end());
+  }
+
+  Oid read_oid() {
+    Reader c = expect(kTagOid);
+    if (c.data_.empty()) throw ProtocolError("decode: empty OID");
+    std::vector<std::uint32_t> arcs;
+    arcs.push_back(c.data_[0] / 40);
+    arcs.push_back(c.data_[0] % 40);
+    std::uint64_t arc = 0;
+    bool in_progress = false;
+    for (std::size_t i = 1; i < c.data_.size(); ++i) {
+      const std::uint8_t byte = c.data_[i];
+      arc = (arc << 7) | (byte & 0x7F);
+      if (arc > std::numeric_limits<std::uint32_t>::max())
+        throw ProtocolError("decode: OID arc overflow");
+      if (byte & 0x80) {
+        in_progress = true;
+      } else {
+        arcs.push_back(static_cast<std::uint32_t>(arc));
+        arc = 0;
+        in_progress = false;
+      }
+    }
+    if (in_progress) throw ProtocolError("decode: truncated OID arc");
+    return Oid(std::move(arcs));
+  }
+
+  Value read_value() {
+    const std::uint8_t tag = peek_tag();
+    switch (tag) {
+      case kTagNull:
+        expect(kTagNull);
+        return Value::null();
+      case kTagInteger:
+        return Value::integer(read_integer());
+      case kTagCounter32:
+        return Value::counter32(read_unsigned(kTagCounter32));
+      case kTagGauge32:
+        return Value::gauge32(read_unsigned(kTagGauge32));
+      case kTagTimeTicks:
+        return Value::time_ticks(read_unsigned(kTagTimeTicks));
+      case kTagOctetString:
+        return Value::octets(read_octets());
+      case kTagOid:
+        return Value::object_id(read_oid());
+      case kTagNoSuchObject:
+        expect(kTagNoSuchObject);
+        return Value::no_such_object();
+      case kTagEndOfMibView:
+        expect(kTagEndOfMibView);
+        return Value::end_of_mib_view();
+      default:
+        throw ProtocolError("decode: unknown value tag " +
+                            std::to_string(tag));
+    }
+  }
+
+  void expect_done() const {
+    if (!done()) throw ProtocolError("decode: trailing bytes");
+  }
+
+ private:
+  std::size_t read_length() {
+    require(1);
+    const std::uint8_t first = data_[pos_++];
+    if (!(first & 0x80)) return first;
+    const std::size_t n = first & 0x7F;
+    if (n == 0 || n > 4)
+      throw ProtocolError("decode: unsupported length-of-length");
+    require(n);
+    std::size_t len = 0;
+    for (std::size_t i = 0; i < n; ++i) len = (len << 8) | data_[pos_++];
+    return len;
+  }
+
+  void require(std::size_t n) const {
+    if (pos_ + n > data_.size())
+      throw ProtocolError("decode: truncated message");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Pdu& pdu) {
+  Bytes varbinds;
+  for (const VarBind& vb : pdu.bindings) {
+    Bytes one;
+    put_tlv(one, kTagOid, encode_oid_content(vb.oid));
+    put_value(one, vb.value);
+    put_tlv(varbinds, kTagSequence, one);
+  }
+
+  Bytes body;
+  put_integer(body, kTagInteger, pdu.request_id);
+  put_integer(body, kTagInteger,
+              static_cast<std::int64_t>(pdu.error_status));
+  put_integer(body, kTagInteger, pdu.error_index);
+  put_tlv(body, kTagSequence, varbinds);
+
+  Bytes message;
+  put_integer(message, kTagInteger, kSnmpVersion2c);
+  put_tlv(message, kTagOctetString,
+          Bytes(pdu.community.begin(), pdu.community.end()));
+  put_tlv(message,
+          static_cast<std::uint8_t>(kTagPduBase +
+                                    static_cast<std::uint8_t>(pdu.type)),
+          body);
+
+  Bytes wire;
+  put_tlv(wire, kTagSequence, message);
+  return wire;
+}
+
+Pdu decode(std::span<const std::uint8_t> wire) {
+  Reader top(wire);
+  Reader message = top.expect(kTagSequence);
+  top.expect_done();
+
+  const std::int64_t version = message.read_integer();
+  if (version != kSnmpVersion2c)
+    throw ProtocolError("decode: unsupported SNMP version " +
+                        std::to_string(version));
+
+  Pdu pdu;
+  pdu.community = message.read_octets();
+
+  auto [pdu_tag, body] = message.read_tlv();
+  message.expect_done();
+  if (pdu_tag < kTagPduBase || pdu_tag > kTagPduBase + 3)
+    throw ProtocolError("decode: unknown PDU tag " + std::to_string(pdu_tag));
+  pdu.type = static_cast<PduType>(pdu_tag - kTagPduBase);
+
+  pdu.request_id = static_cast<std::int32_t>(body.read_integer());
+  pdu.error_status = static_cast<ErrorStatus>(body.read_integer());
+  pdu.error_index = static_cast<std::int32_t>(body.read_integer());
+
+  Reader varbinds = body.expect(kTagSequence);
+  body.expect_done();
+  while (!varbinds.done()) {
+    Reader vb = varbinds.expect(kTagSequence);
+    VarBind binding;
+    binding.oid = vb.read_oid();
+    binding.value = vb.read_value();
+    vb.expect_done();
+    pdu.bindings.push_back(std::move(binding));
+  }
+  return pdu;
+}
+
+}  // namespace remos::snmp

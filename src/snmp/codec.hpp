@@ -1,0 +1,26 @@
+// BER wire codec for the SNMP message subset.
+//
+// Messages are encoded as in SNMPv2c over UDP: a SEQUENCE of version,
+// community and a context-tagged PDU, with TLV (tag/length/value) framing,
+// definite lengths (short and long form), base-128 OID arcs and
+// minimal-length two's-complement INTEGERs.  decode() rejects malformed
+// input with ProtocolError -- truncation, trailing garbage, bad tags and
+// over-long lengths are all detected (and unit-tested), because the
+// collector must survive a lossy datagram transport.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "snmp/pdu.hpp"
+
+namespace remos::snmp {
+
+/// Serializes a message to wire bytes.
+std::vector<std::uint8_t> encode(const Pdu& pdu);
+
+/// Parses wire bytes; throws ProtocolError on any malformation.
+Pdu decode(std::span<const std::uint8_t> wire);
+
+}  // namespace remos::snmp

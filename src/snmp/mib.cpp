@@ -1,0 +1,28 @@
+#include "snmp/mib.hpp"
+
+#include "util/error.hpp"
+
+namespace remos::snmp {
+
+void Mib::add(const Oid& oid, Binding binding) {
+  if (!binding) throw InvalidArgument("Mib::add: empty binding");
+  entries_[oid] = std::move(binding);
+}
+
+void Mib::add_constant(const Oid& oid, Value value) {
+  add(oid, [v = std::move(value)] { return v; });
+}
+
+Value Mib::get(const Oid& oid) const {
+  const auto it = entries_.find(oid);
+  if (it == entries_.end()) return Value::no_such_object();
+  return it->second();
+}
+
+std::optional<std::pair<Oid, Value>> Mib::get_next(const Oid& oid) const {
+  const auto it = entries_.upper_bound(oid);
+  if (it == entries_.end()) return std::nullopt;
+  return std::make_pair(it->first, it->second());
+}
+
+}  // namespace remos::snmp

@@ -1,0 +1,39 @@
+// Management information base: an ordered map from OID to a binding.
+//
+// Bindings are closures so agents can expose live state (the simulator's
+// octet counters) without copying; constants are just closures returning a
+// fixed Value.  GETNEXT traversal uses the map's lexicographic order.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "snmp/oid.hpp"
+#include "snmp/value.hpp"
+
+namespace remos::snmp {
+
+class Mib {
+ public:
+  using Binding = std::function<Value()>;
+
+  /// Registers a live binding; re-registering an OID replaces it.
+  void add(const Oid& oid, Binding binding);
+  /// Registers a fixed value.
+  void add_constant(const Oid& oid, Value value);
+
+  /// Exact lookup; returns noSuchObject for unknown OIDs.
+  Value get(const Oid& oid) const;
+
+  /// First entry with OID strictly greater; nullopt past the end.
+  std::optional<std::pair<Oid, Value>> get_next(const Oid& oid) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<Oid, Binding> entries_;
+};
+
+}  // namespace remos::snmp

@@ -1,0 +1,108 @@
+#include "snmp/mib2.hpp"
+
+#include <cmath>
+
+namespace remos::snmp {
+
+namespace {
+
+/// Truncates a monotonically growing byte count to Counter32 semantics.
+std::uint32_t wrap32(double bytes) {
+  // fmod keeps precision for counts far beyond 2^53 never reached here.
+  return static_cast<std::uint32_t>(
+      std::fmod(bytes, 4294967296.0));
+}
+
+}  // namespace
+
+void populate_node_mib(Agent& agent, netsim::Simulator& sim,
+                       netsim::NodeId node, const HostStats* host_stats) {
+  using netsim::Link;
+  using netsim::LinkId;
+  Mib& mib = agent.mib();
+  const netsim::Topology& topo = sim.topology();
+  const netsim::Node& self = topo.node(node);
+
+  // --- system group ---
+  const bool is_router = self.kind == netsim::NodeKind::kNetwork;
+  mib.add_constant(oids::kSysDescr,
+                   Value::octets(is_router ? "remos-sim router"
+                                           : "remos-sim host"));
+  mib.add_constant(oids::kSysName, Value::octets(self.name));
+  mib.add(oids::kSysUpTime, [&sim] {
+    return Value::time_ticks(static_cast<std::uint32_t>(sim.now() * 100.0));
+  });
+  if (self.internal_bw > 0) {
+    mib.add_constant(
+        oids::kRemosBackplaneKbps,
+        Value::gauge32(static_cast<std::uint32_t>(self.internal_bw / 1e3)));
+  }
+
+  // --- interfaces group ---
+  const std::vector<LinkId>& links = topo.links_at(node);
+  mib.add_constant(oids::kIfNumber,
+                   Value::integer(static_cast<std::int64_t>(links.size())));
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const auto if_index = static_cast<std::uint32_t>(i + 1);
+    const LinkId lid = links[i];
+    const Link& link = topo.link(lid);
+    const bool node_is_a = link.a == node;
+    auto col = [&](std::uint32_t c) {
+      return oids::kIfTableEntry.descend({c, if_index});
+    };
+    mib.add_constant(col(oids::kIfIndexCol), Value::integer(if_index));
+    mib.add_constant(col(oids::kIfDescrCol),
+                     Value::octets("eth" + std::to_string(i) + " to " +
+                                   topo.name_of(link.other(node))));
+    mib.add_constant(
+        col(oids::kIfSpeedCol),
+        Value::gauge32(static_cast<std::uint32_t>(link.capacity)));
+    mib.add(col(oids::kIfOperStatusCol), [&sim, lid] {
+      return Value::integer(sim.link_up(lid) ? 1 : 2);  // up(1)/down(2)
+    });
+    // Out = bytes this node transmits onto the link; In = received.
+    mib.add(col(oids::kIfOutOctetsCol), [&sim, lid, node_is_a] {
+      return Value::counter32(wrap32(sim.link_tx_bytes(lid, node_is_a)));
+    });
+    mib.add(col(oids::kIfInOctetsCol), [&sim, lid, node_is_a] {
+      return Value::counter32(wrap32(sim.link_tx_bytes(lid, !node_is_a)));
+    });
+
+    // --- remos neighbor table (discovery substrate) ---
+    const netsim::Node& peer = topo.node(link.other(node));
+    auto nbr = [&](std::uint32_t c) {
+      return oids::kRemosNeighborEntry.descend({c, if_index});
+    };
+    mib.add_constant(nbr(oids::kNbrNameCol), Value::octets(peer.name));
+    mib.add_constant(
+        nbr(oids::kNbrIsRouterCol),
+        Value::integer(peer.kind == netsim::NodeKind::kNetwork ? 1 : 0));
+    mib.add_constant(
+        nbr(oids::kNbrLatencyMicrosCol),
+        Value::gauge32(static_cast<std::uint32_t>(link.latency * 1e6)));
+    // The simulator's links share by weighted max-min fairness.
+    mib.add_constant(
+        nbr(oids::kNbrSharingCol),
+        Value::integer(static_cast<std::int64_t>(
+            SharingPolicy::kMaxMinFair)));
+  }
+
+  // --- host group (compute nodes only) ---
+  if (host_stats != nullptr) {
+    // CPU load is live simulator state (the OS scheduler's view); memory
+    // size comes from the static host description.
+    mib.add(oids::kHrProcessorLoad, [&sim, node] {
+      return Value::integer(
+          static_cast<std::int64_t>(sim.cpu_load(node) * 100.0));
+    });
+    mib.add(oids::kHrMemorySize, [host_stats] {
+      return Value::gauge32(host_stats->memory_mb);
+    });
+  }
+}
+
+std::string agent_address(const std::string& node_name) {
+  return "udp://" + node_name + ":161";
+}
+
+}  // namespace remos::snmp

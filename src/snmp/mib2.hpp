@@ -1,0 +1,81 @@
+// The MIB-2 subset served by simulated agents, and its binding to the
+// network simulator.
+//
+// Served groups:
+//   system    -- sysDescr/sysName/sysUpTime (1.3.6.1.2.1.1)
+//   interfaces-- ifNumber + ifTable columns ifIndex/ifDescr/ifSpeed/
+//                ifOperStatus/ifInOctets/ifOutOctets (1.3.6.1.2.1.2);
+//                octet counters are live Counter32 views of the simulator
+//                with authentic 32-bit wrap
+//   host      -- hrProcessorLoad-style CPU load and memory for compute
+//                nodes (Remos "includes a simple interface to computation
+//                and memory resources")
+//   remosTopo -- an enterprise neighbor table (the role LLDP/CDP or
+//                ipRouteTable plays in real discovery): per interface, the
+//                neighbor's sysName, whether it forwards, and the link
+//                latency in microseconds
+//
+// Interface indices are 1-based positions in Topology::links_at(node),
+// fixed at agent-construction time, exactly like a router's ifTable.
+#pragma once
+
+#include <string>
+
+#include "netsim/simulator.hpp"
+#include "snmp/agent.hpp"
+#include "snmp/oid.hpp"
+#include "util/sharing.hpp"
+
+namespace remos::snmp {
+
+/// Well-known OIDs (shared by agents and the collector).
+namespace oids {
+
+inline const Oid kSysDescr{1, 3, 6, 1, 2, 1, 1, 1, 0};
+inline const Oid kSysUpTime{1, 3, 6, 1, 2, 1, 1, 3, 0};
+inline const Oid kSysName{1, 3, 6, 1, 2, 1, 1, 5, 0};
+
+inline const Oid kIfNumber{1, 3, 6, 1, 2, 1, 2, 1, 0};
+inline const Oid kIfTableEntry{1, 3, 6, 1, 2, 1, 2, 2, 1};
+inline constexpr std::uint32_t kIfIndexCol = 1;
+inline constexpr std::uint32_t kIfDescrCol = 2;
+inline constexpr std::uint32_t kIfSpeedCol = 5;
+inline constexpr std::uint32_t kIfOperStatusCol = 8;
+inline constexpr std::uint32_t kIfInOctetsCol = 10;
+inline constexpr std::uint32_t kIfOutOctetsCol = 16;
+
+inline const Oid kHrProcessorLoad{1, 3, 6, 1, 2, 1, 25, 3, 3, 1, 2, 1};
+inline const Oid kHrMemorySize{1, 3, 6, 1, 2, 1, 25, 2, 2, 0};
+
+/// Enterprise arc for the Remos testbed instrumentation.
+inline const Oid kRemosNeighborEntry{1, 3, 6, 1, 4, 1, 57005, 1, 1};
+inline constexpr std::uint32_t kNbrNameCol = 1;
+inline constexpr std::uint32_t kNbrIsRouterCol = 2;
+inline constexpr std::uint32_t kNbrLatencyMicrosCol = 3;
+/// Sharing policy of the attached link (SharingPolicy enum value).
+inline constexpr std::uint32_t kNbrSharingCol = 4;
+
+/// Aggregate forwarding (backplane) capacity of the node in kbit/s; only
+/// present on nodes whose capacity is finite (Figure 1's "internal
+/// bandwidth").  Kbps keeps multi-Gbps values inside Gauge32.
+inline const Oid kRemosBackplaneKbps{1, 3, 6, 1, 4, 1, 57005, 2, 1, 0};
+
+}  // namespace oids
+
+/// Host-side static description exposed through the host group (dynamic
+/// CPU load is read live from the simulator via Simulator::cpu_load).
+struct HostStats {
+  std::uint32_t memory_mb = 512;
+};
+
+/// Populates `agent`'s MIB for node `node` of `sim`'s topology, with all
+/// dynamic entries bound to live simulator state.  `host_stats` may be
+/// null for network nodes.  The simulator (and host_stats if given) must
+/// outlive the agent.
+void populate_node_mib(Agent& agent, netsim::Simulator& sim,
+                       netsim::NodeId node, const HostStats* host_stats);
+
+/// Transport address an agent for `node_name` binds to.
+std::string agent_address(const std::string& node_name);
+
+}  // namespace remos::snmp

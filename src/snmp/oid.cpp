@@ -1,0 +1,54 @@
+#include "snmp/oid.hpp"
+
+#include <charconv>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace remos::snmp {
+
+Oid Oid::parse(const std::string& dotted) {
+  if (dotted.empty()) throw InvalidArgument("Oid::parse: empty string");
+  std::vector<std::uint32_t> arcs;
+  for (const std::string& part : split(dotted, '.')) {
+    if (part.empty())
+      throw InvalidArgument("Oid::parse: empty arc in '" + dotted + "'");
+    std::uint32_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), value);
+    if (ec != std::errc{} || ptr != part.data() + part.size())
+      throw InvalidArgument("Oid::parse: bad arc '" + part + "'");
+    arcs.push_back(value);
+  }
+  return Oid(std::move(arcs));
+}
+
+std::string Oid::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(arcs_[i]);
+  }
+  return out;
+}
+
+Oid Oid::child(std::uint32_t arc) const {
+  Oid out = *this;
+  out.arcs_.push_back(arc);
+  return out;
+}
+
+Oid Oid::descend(std::initializer_list<std::uint32_t> arcs) const {
+  Oid out = *this;
+  out.arcs_.insert(out.arcs_.end(), arcs.begin(), arcs.end());
+  return out;
+}
+
+bool Oid::starts_with(const Oid& prefix) const {
+  if (prefix.size() > size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i)
+    if (arcs_[i] != prefix[i]) return false;
+  return true;
+}
+
+}  // namespace remos::snmp

@@ -1,0 +1,46 @@
+// SNMP object identifiers.
+//
+// An Oid is a sequence of unsigned arcs ("1.3.6.1.2.1...").  Ordering is
+// lexicographic, which is what GETNEXT/walk traversal is defined over.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace remos::snmp {
+
+class Oid {
+ public:
+  Oid() = default;
+  Oid(std::initializer_list<std::uint32_t> arcs) : arcs_(arcs) {}
+  explicit Oid(std::vector<std::uint32_t> arcs) : arcs_(std::move(arcs)) {}
+
+  /// Parses dotted notation ("1.3.6.1"); throws InvalidArgument on
+  /// malformed input (empty, non-numeric, overflow).
+  static Oid parse(const std::string& dotted);
+
+  std::string to_string() const;
+
+  std::size_t size() const { return arcs_.size(); }
+  bool empty() const { return arcs_.empty(); }
+  std::uint32_t operator[](std::size_t i) const { return arcs_[i]; }
+  const std::vector<std::uint32_t>& arcs() const { return arcs_; }
+
+  /// Returns this OID with one extra arc appended.
+  Oid child(std::uint32_t arc) const;
+  /// Returns this OID with several arcs appended.
+  Oid descend(std::initializer_list<std::uint32_t> arcs) const;
+
+  /// True if `prefix` is a (non-strict) prefix of this OID.
+  bool starts_with(const Oid& prefix) const;
+
+  auto operator<=>(const Oid&) const = default;
+
+ private:
+  std::vector<std::uint32_t> arcs_;
+};
+
+}  // namespace remos::snmp

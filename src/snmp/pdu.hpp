@@ -1,0 +1,50 @@
+// SNMP protocol data units (the SNMPv2c subset Remos uses: GET, GETNEXT,
+// SET and RESPONSE with standard error-status codes from RFC 1905).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snmp/oid.hpp"
+#include "snmp/value.hpp"
+
+namespace remos::snmp {
+
+enum class PduType : std::uint8_t {
+  kGet = 0,
+  kGetNext = 1,
+  kResponse = 2,
+  kSet = 3,
+};
+
+/// RFC 1905 error-status values (subset).
+enum class ErrorStatus : std::int32_t {
+  kNoError = 0,
+  kTooBig = 1,
+  kNoSuchName = 2,
+  kBadValue = 3,
+  kReadOnly = 4,
+  kGenErr = 5,
+  kNotWritable = 17,
+};
+
+struct VarBind {
+  Oid oid;
+  Value value;
+
+  bool operator==(const VarBind&) const = default;
+};
+
+struct Pdu {
+  PduType type = PduType::kGet;
+  std::string community = "public";
+  std::int32_t request_id = 0;
+  ErrorStatus error_status = ErrorStatus::kNoError;
+  std::int32_t error_index = 0;  // 1-based varbind index, 0 = none
+  std::vector<VarBind> bindings;
+
+  bool operator==(const Pdu&) const = default;
+};
+
+}  // namespace remos::snmp

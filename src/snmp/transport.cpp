@@ -1,0 +1,55 @@
+#include "snmp/transport.hpp"
+
+#include "util/error.hpp"
+
+namespace remos::snmp {
+
+Transport::Transport(Config config) : config_(config), rng_(config.seed) {
+  if (config_.loss_probability < 0 || config_.loss_probability >= 1.0)
+    throw InvalidArgument("Transport: loss probability outside [0,1)");
+  if (config_.max_attempts < 1)
+    throw InvalidArgument("Transport: max_attempts < 1");
+}
+
+void Transport::bind(const std::string& address, Handler handler) {
+  if (!handler) throw InvalidArgument("Transport::bind: empty handler");
+  if (!endpoints_.emplace(address, std::move(handler)).second)
+    throw InvalidArgument("Transport::bind: address in use: " + address);
+}
+
+void Transport::unbind(const std::string& address) {
+  endpoints_.erase(address);
+}
+
+bool Transport::bound(const std::string& address) const {
+  return endpoints_.contains(address);
+}
+
+std::optional<std::vector<std::uint8_t>> Transport::request(
+    const std::string& address, const std::vector<std::uint8_t>& datagram) {
+  const auto it = endpoints_.find(address);
+  if (it == endpoints_.end())
+    throw NotFoundError("Transport: no endpoint at " + address);
+
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    ++datagrams_sent_;
+    bytes_sent_ += datagram.size();
+    if (rng_.chance(config_.loss_probability)) {
+      ++datagrams_lost_;  // request lost in flight
+      continue;
+    }
+    const auto response = it->second(datagram);
+    if (!response) continue;  // endpoint dropped it
+    ++datagrams_sent_;
+    bytes_sent_ += response->size();
+    if (rng_.chance(config_.loss_probability)) {
+      ++datagrams_lost_;  // response lost in flight
+      continue;
+    }
+    return response;
+  }
+  ++requests_failed_;
+  return std::nullopt;
+}
+
+}  // namespace remos::snmp

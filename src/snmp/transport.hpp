@@ -1,0 +1,68 @@
+// In-process datagram transport with simulated latency and loss.
+//
+// Stands in for UDP on the testbed.  Endpoints bind request handlers by
+// address ("udp://aspen:161"); clients issue request/response exchanges
+// with timeout-and-retry semantics.  Loss is applied independently to the
+// request and the response datagram (seeded, deterministic), so the
+// collector's retry path is genuinely exercised.  Exchanges are
+// logically instantaneous with respect to the fluid simulator's clock --
+// management round-trips (sub-millisecond on the LAN testbed) are far
+// below the collector polling period -- but every datagram is accounted
+// (count + bytes) so the overhead ablation can report management load.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace remos::snmp {
+
+class Transport {
+ public:
+  /// A bound endpoint turns a request datagram into a response datagram
+  /// (or nothing, if it chooses to drop the request).
+  using Handler = std::function<std::optional<std::vector<std::uint8_t>>(
+      const std::vector<std::uint8_t>&)>;
+
+  struct Config {
+    double loss_probability = 0.0;  // per datagram, each direction
+    int max_attempts = 3;           // 1 try + retries
+    std::uint64_t seed = 0xC0FFEE;
+  };
+
+  Transport() = default;
+  explicit Transport(Config config);
+
+  /// Binds an address; throws InvalidArgument on duplicates.
+  void bind(const std::string& address, Handler handler);
+  void unbind(const std::string& address);
+  bool bound(const std::string& address) const;
+
+  /// Sends a request and waits for the response, retrying on loss.
+  /// Returns nullopt after all attempts fail; throws NotFoundError if the
+  /// address was never bound.
+  std::optional<std::vector<std::uint8_t>> request(
+      const std::string& address, const std::vector<std::uint8_t>& datagram);
+
+  // Accounting for the management-overhead ablation.
+  std::uint64_t datagrams_sent() const { return datagrams_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t datagrams_lost() const { return datagrams_lost_; }
+  std::uint64_t requests_failed() const { return requests_failed_; }
+
+ private:
+  Config config_;
+  Rng rng_{config_.seed};
+  std::unordered_map<std::string, Handler> endpoints_;
+  std::uint64_t datagrams_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t datagrams_lost_ = 0;
+  std::uint64_t requests_failed_ = 0;
+};
+
+}  // namespace remos::snmp

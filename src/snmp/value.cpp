@@ -1,0 +1,84 @@
+#include "snmp/value.hpp"
+
+#include "util/error.hpp"
+
+namespace remos::snmp {
+
+Value Value::integer(std::int64_t v) { return Value(Storage{v}); }
+Value Value::counter32(std::uint32_t v) {
+  return Value(Storage{Counter32Tag{v}});
+}
+Value Value::gauge32(std::uint32_t v) { return Value(Storage{Gauge32Tag{v}}); }
+Value Value::time_ticks(std::uint32_t v) {
+  return Value(Storage{TimeTicksTag{v}});
+}
+Value Value::octets(std::string v) { return Value(Storage{std::move(v)}); }
+Value Value::object_id(Oid v) { return Value(Storage{std::move(v)}); }
+Value Value::no_such_object() { return Value(Storage{NoSuchObjectTag{}}); }
+Value Value::end_of_mib_view() { return Value(Storage{EndOfMibTag{}}); }
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(data_.index());
+}
+
+namespace {
+[[noreturn]] void type_mismatch(const char* wanted) {
+  throw ProtocolError(std::string("Value: not a ") + wanted);
+}
+}  // namespace
+
+std::int64_t Value::as_integer() const {
+  if (const auto* p = std::get_if<std::int64_t>(&data_)) return *p;
+  type_mismatch("Integer");
+}
+
+std::uint32_t Value::as_counter32() const {
+  if (const auto* p = std::get_if<Counter32Tag>(&data_)) return p->v;
+  type_mismatch("Counter32");
+}
+
+std::uint32_t Value::as_gauge32() const {
+  if (const auto* p = std::get_if<Gauge32Tag>(&data_)) return p->v;
+  type_mismatch("Gauge32");
+}
+
+std::uint32_t Value::as_time_ticks() const {
+  if (const auto* p = std::get_if<TimeTicksTag>(&data_)) return p->v;
+  type_mismatch("TimeTicks");
+}
+
+const std::string& Value::as_octets() const {
+  if (const auto* p = std::get_if<std::string>(&data_)) return *p;
+  type_mismatch("OctetString");
+}
+
+const Oid& Value::as_object_id() const {
+  if (const auto* p = std::get_if<Oid>(&data_)) return *p;
+  type_mismatch("ObjectId");
+}
+
+std::string Value::to_string() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInteger:
+      return std::to_string(as_integer());
+    case ValueType::kCounter32:
+      return "Counter32(" + std::to_string(as_counter32()) + ")";
+    case ValueType::kGauge32:
+      return "Gauge32(" + std::to_string(as_gauge32()) + ")";
+    case ValueType::kTimeTicks:
+      return "TimeTicks(" + std::to_string(as_time_ticks()) + ")";
+    case ValueType::kOctetString:
+      return "\"" + as_octets() + "\"";
+    case ValueType::kObjectId:
+      return as_object_id().to_string();
+    case ValueType::kNoSuchObject:
+      return "noSuchObject";
+    case ValueType::kEndOfMibView:
+      return "endOfMibView";
+  }
+  return "?";
+}
+
+}  // namespace remos::snmp

@@ -1,0 +1,90 @@
+// SNMP values (the SMI subset the Remos collector needs).
+//
+// Counter32 deliberately keeps SNMP's 32-bit wrapping semantics: a router
+// moving 100 Mbps wraps ifOutOctets roughly every 5.7 minutes, and the
+// collector must difference counters modulo 2^32 -- a real failure mode of
+// 1998 (and current) SNMP polling that the tests exercise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "snmp/oid.hpp"
+
+namespace remos::snmp {
+
+enum class ValueType : std::uint8_t {
+  kNull,
+  kInteger,      // signed 64-bit in API, BER INTEGER on the wire
+  kCounter32,    // wrapping, monotonic
+  kGauge32,      // non-wrapping, clamping
+  kTimeTicks,    // hundredths of a second
+  kOctetString,
+  kObjectId,
+  kNoSuchObject,  // exception marker in responses
+  kEndOfMibView,  // exception marker for GETNEXT past the MIB
+};
+
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+
+  static Value null() { return Value(); }
+  static Value integer(std::int64_t v);
+  static Value counter32(std::uint32_t v);
+  static Value gauge32(std::uint32_t v);
+  static Value time_ticks(std::uint32_t v);
+  static Value octets(std::string v);
+  static Value object_id(Oid v);
+  static Value no_such_object();
+  static Value end_of_mib_view();
+
+  ValueType type() const;
+  bool is_exception() const {
+    return type() == ValueType::kNoSuchObject ||
+           type() == ValueType::kEndOfMibView;
+  }
+
+  /// Typed accessors; throw ProtocolError when the type does not match.
+  std::int64_t as_integer() const;
+  std::uint32_t as_counter32() const;
+  std::uint32_t as_gauge32() const;
+  std::uint32_t as_time_ticks() const;
+  const std::string& as_octets() const;
+  const Oid& as_object_id() const;
+
+  std::string to_string() const;
+
+  bool operator==(const Value&) const = default;
+
+ private:
+  struct Counter32Tag {
+    std::uint32_t v;
+    bool operator==(const Counter32Tag&) const = default;
+  };
+  struct Gauge32Tag {
+    std::uint32_t v;
+    bool operator==(const Gauge32Tag&) const = default;
+  };
+  struct TimeTicksTag {
+    std::uint32_t v;
+    bool operator==(const TimeTicksTag&) const = default;
+  };
+  struct NoSuchObjectTag {
+    bool operator==(const NoSuchObjectTag&) const = default;
+  };
+  struct EndOfMibTag {
+    bool operator==(const EndOfMibTag&) const = default;
+  };
+
+  using Storage =
+      std::variant<std::monostate, std::int64_t, Counter32Tag, Gauge32Tag,
+                   TimeTicksTag, std::string, Oid, NoSuchObjectTag,
+                   EndOfMibTag>;
+  explicit Value(Storage s) : data_(std::move(s)) {}
+
+  Storage data_;
+};
+
+}  // namespace remos::snmp

@@ -1,0 +1,47 @@
+// Error types for the Remos libraries.
+//
+// Remos reports unrecoverable misuse (unknown node names, malformed
+// queries, protocol violations) via exceptions derived from Error.
+// Recoverable conditions that an application is expected to handle --
+// e.g. "this flow request can only be partially satisfied" -- are never
+// exceptions; they are encoded in the query result per the paper
+// ("data structures will be filled in to the extent that the flow
+// requests can be satisfied").
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace remos {
+
+/// Base class of all Remos exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A name or id did not resolve (node, link, agent address, OID...).
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error(what) {}
+};
+
+/// Structurally invalid input (bad topology, negative capacity, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Wire-protocol decode/encode failure (SNMP substrate).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+/// A request timed out after all retries (lossy transport).
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace remos

@@ -1,0 +1,39 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace remos {
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  // Debiased multiply-shift (Lemire).
+  const std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double mean) {
+  // Inverse CDF; uniform() < 1 so log argument is > 0.
+  return -mean * std::log(1.0 - uniform());
+}
+
+double Rng::normal(double mean, double stddev) {
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+bool Rng::chance(double probability) { return uniform() < probability; }
+
+double Rng::pareto(double xm, double alpha) {
+  return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+}  // namespace remos

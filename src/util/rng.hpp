@@ -1,0 +1,87 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the reproduction (traffic generators,
+// probe jitter, transport loss) draws from an explicitly seeded
+// generator so that tests and benchmark tables are reproducible.
+// We use xoshiro256** seeded via splitmix64 (the recommended seeding
+// procedure), implemented locally to avoid any libstdc++ distribution
+// variance across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace remos {
+
+/// splitmix64: used to expand a single 64-bit seed into a full state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9d1fb8a2c34be001ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state simple).
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial.
+  bool chance(double probability);
+
+  /// Bounded Pareto (shape alpha, minimum xm) -- heavy-tailed transfer sizes.
+  double pareto(double xm, double alpha);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace remos

@@ -1,0 +1,17 @@
+#include "util/sharing.hpp"
+
+namespace remos {
+
+std::string to_string(SharingPolicy policy) {
+  switch (policy) {
+    case SharingPolicy::kUnknown:
+      return "unknown";
+    case SharingPolicy::kMaxMinFair:
+      return "max-min-fair";
+    case SharingPolicy::kWeightedShare:
+      return "weighted-share";
+  }
+  return "?";
+}
+
+}  // namespace remos

@@ -1,0 +1,26 @@
+// Link sharing policies (extension; paper §4.3: "If other sharing
+// policies become common, we could add a query type to Remos that would
+// allow applications to identify the sharing policy for different
+// physical links").
+//
+// The policy tells an application how to convert "available bandwidth"
+// into "what my flow will actually get": under max-min fairness a new
+// flow can claim a fair share even of a busy link, while on an unknown
+// link only the measured residual is a safe assumption.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace remos {
+
+enum class SharingPolicy : std::uint8_t {
+  kUnknown = 0,         // no information (e.g. an opaque WAN cloud)
+  kMaxMinFair = 1,      // equal split among backlogged flows (ATM ABR,
+                        // round-robin schedulers, idealized TCP)
+  kWeightedShare = 2,   // proportional to configured weights (WFQ)
+};
+
+std::string to_string(SharingPolicy policy);
+
+}  // namespace remos

@@ -1,0 +1,25 @@
+// Small string helpers shared by reporting code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace remos {
+
+/// Joins items with a separator: join({"a","b"}, ", ") == "a, b".
+std::string join(const std::vector<std::string>& items,
+                 const std::string& sep);
+
+/// Splits on a single-character separator; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// Fixed-precision decimal formatting ("%.*f").
+std::string fixed(double value, int decimals);
+
+/// Left-pads to the given width with spaces.
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pads to the given width with spaces.
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace remos

@@ -1,0 +1,39 @@
+// Physical units used throughout Remos.
+//
+// The model works in SI base units: seconds for time, bits/second for
+// bandwidth, bytes for data volumes.  Plain doubles are used (the fluid
+// simulator integrates piecewise-constant rates, so double precision is
+// ample), with named constructors so that call sites read in the units
+// the paper uses (Mbps links, KB/MB transfers).
+#pragma once
+
+namespace remos {
+
+/// Simulated time, in seconds since simulation start.
+using Seconds = double;
+
+/// Bandwidth/data rate, in bits per second.
+using BitsPerSec = double;
+
+/// Data volume, in bytes.
+using Bytes = double;
+
+constexpr BitsPerSec kbps(double v) { return v * 1e3; }
+constexpr BitsPerSec mbps(double v) { return v * 1e6; }
+constexpr BitsPerSec gbps(double v) { return v * 1e9; }
+
+constexpr Bytes kib(double v) { return v * 1024.0; }
+constexpr Bytes mib(double v) { return v * 1024.0 * 1024.0; }
+
+constexpr Seconds millis(double v) { return v * 1e-3; }
+constexpr Seconds micros(double v) { return v * 1e-6; }
+
+/// Converts a rate back to Mbps for reporting.
+constexpr double to_mbps(BitsPerSec v) { return v / 1e6; }
+
+/// Time to move `volume` bytes at `rate` bits/sec.
+constexpr Seconds transfer_time(Bytes volume, BitsPerSec rate) {
+  return volume * 8.0 / rate;
+}
+
+}  // namespace remos

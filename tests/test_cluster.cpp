@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "apps/harness.hpp"
+#include "cluster/clustering.hpp"
+#include "cluster/distance.hpp"
+#include "netsim/traffic.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace remos::cluster {
+namespace {
+
+using apps::CmuHarness;
+using core::Timeframe;
+
+class ClusterOnTestbed : public ::testing::Test {
+ protected:
+  ClusterOnTestbed() { harness_.start(10.0); }
+
+  DistanceMatrix distances(const Timeframe& tf = Timeframe::current()) {
+    const core::NetworkGraph g =
+        harness_.modeler().get_graph(harness_.hosts(), tf);
+    return DistanceMatrix(g, harness_.hosts());
+  }
+
+  CmuHarness harness_;
+};
+
+TEST_F(ClusterOnTestbed, DistanceMatrixSymmetricWithZeroDiagonal) {
+  const DistanceMatrix d = distances();
+  EXPECT_EQ(d.size(), 8u);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_DOUBLE_EQ(d.at(i, i), 0.0);
+    for (std::size_t j = 0; j < d.size(); ++j)
+      EXPECT_DOUBLE_EQ(d.at(i, j), d.at(j, i));
+  }
+  // Clean 100 Mbps paths normalize to distance 1.
+  EXPECT_NEAR(d.at("m-4", "m-5"), 1.0, 0.05);
+  EXPECT_NEAR(d.at("m-1", "m-8"), 1.0, 0.05);
+}
+
+TEST_F(ClusterOnTestbed, DistanceGrowsOnCongestedPaths) {
+  netsim::CbrTraffic cbr(harness_.sim(), "m-6", "m-8", mbps(80));
+  harness_.sim().run_for(10.0);
+  const DistanceMatrix d = distances();
+  EXPECT_NEAR(d.at("m-4", "m-5"), 1.0, 0.05);       // clean
+  EXPECT_GT(d.at("m-6", "m-8"), 4.0);               // 20 Mbps left
+  EXPECT_GT(d.at("m-4", "m-8"), 4.0);               // shares t->w link
+}
+
+TEST_F(ClusterOnTestbed, DistanceValidation) {
+  const core::NetworkGraph g =
+      harness_.modeler().get_graph(harness_.hosts(), Timeframe::current());
+  EXPECT_THROW(DistanceMatrix(g, {}), InvalidArgument);
+  EXPECT_THROW(DistanceMatrix(g, {"m-1", "m-1"}), InvalidArgument);
+  EXPECT_THROW(DistanceMatrix(g, {"m-1", "nope"}), NotFoundError);
+  DistanceMatrix d = distances();
+  EXPECT_THROW(d.at(0, 99), InvalidArgument);
+  EXPECT_THROW(d.index_of("nope"), NotFoundError);
+  EXPECT_FALSE(d.to_string().empty());
+}
+
+TEST_F(ClusterOnTestbed, GreedyPrefersSameRouterOnCleanNetwork) {
+  const DistanceMatrix d = distances();
+  const ClusterResult two = greedy_cluster(d, "m-4", 2);
+  // m-5 and m-6 share timberline with m-4 (distance 1 vs 1 for all...
+  // same-router pairs have 2-hop paths but identical bandwidth, so the
+  // tie-break picks the lexicographically first: m-5.
+  EXPECT_EQ(two.nodes, (std::vector<std::string>{"m-4", "m-5"}));
+  const ClusterResult three = greedy_cluster(d, "m-4", 3);
+  EXPECT_EQ(three.nodes,
+            (std::vector<std::string>{"m-4", "m-5", "m-6"}));
+}
+
+TEST_F(ClusterOnTestbed, Figure4SelectionAvoidsBusyLinks) {
+  // The paper's Figure 4: traffic m-6 -> timberline -> whiteface -> m-8;
+  // start node m-4; expected selection {m-1, m-2, m-4, m-5}.
+  netsim::CbrTraffic cbr(harness_.sim(), "m-6", "m-8", mbps(95), 19.0);
+  harness_.sim().run_for(10.0);
+  const DistanceMatrix d = distances(Timeframe::history(8.0));
+  ClusterResult r = greedy_cluster(d, "m-4", 4);
+  std::sort(r.nodes.begin(), r.nodes.end());
+  EXPECT_EQ(r.nodes,
+            (std::vector<std::string>{"m-1", "m-2", "m-4", "m-5"}));
+}
+
+TEST_F(ClusterOnTestbed, GreedyMatchesExhaustiveUnderTraffic) {
+  netsim::CbrTraffic cbr(harness_.sim(), "m-6", "m-8", mbps(95), 19.0);
+  harness_.sim().run_for(10.0);
+  const DistanceMatrix d = distances(Timeframe::history(8.0));
+  for (std::size_t k : {2u, 3u, 4u, 5u}) {
+    const ClusterResult greedy = greedy_cluster(d, "m-4", k);
+    const ClusterResult best = best_cluster_exhaustive(d, "m-4", k);
+    // The heuristic is not guaranteed optimal, but on the testbed with
+    // one hot link it should be within a small factor.
+    EXPECT_LE(greedy.cost, best.cost * 1.3 + 1e-9) << "k=" << k;
+    EXPECT_LE(best.cost, greedy.cost + 1e-9);
+  }
+}
+
+TEST(ClusterCost, SumsPairwiseDistances) {
+  // Hand-built 3-node matrix via a tiny graph.
+  core::NetworkGraph g;
+  core::GraphNode a, b, r;
+  a.name = "a";
+  b.name = "b";
+  r.name = "r";
+  r.is_compute = false;
+  g.add_node(a);
+  g.add_node(b);
+  g.add_node(r);
+  core::GraphLink l1, l2;
+  l1.a = "a";
+  l1.b = "r";
+  l1.capacity = Measurement::exact(mbps(100));
+  l1.latency = Measurement::exact(millis(1));
+  l2 = l1;
+  l2.a = "r";
+  l2.b = "b";
+  g.add_link(l1);
+  g.add_link(l2);
+  const DistanceMatrix d(g, {"a", "b"});
+  EXPECT_NEAR(cluster_cost(d, {"a", "b"}), 1.0, 0.05);
+  EXPECT_DOUBLE_EQ(cluster_cost(d, {"a"}), 0.0);
+}
+
+TEST(ClusterValidation, SizeAndMembershipChecks) {
+  core::NetworkGraph g;
+  core::GraphNode a, b, r;
+  a.name = "a";
+  b.name = "b";
+  r.name = "r";
+  r.is_compute = false;
+  g.add_node(a);
+  g.add_node(b);
+  g.add_node(r);
+  core::GraphLink l1;
+  l1.a = "a";
+  l1.b = "r";
+  l1.capacity = Measurement::exact(mbps(100));
+  l1.latency = Measurement::exact(millis(1));
+  core::GraphLink l2 = l1;
+  l2.a = "r";
+  l2.b = "b";
+  g.add_link(l1);
+  g.add_link(l2);
+  const DistanceMatrix d(g, {"a", "b"});
+  EXPECT_THROW(greedy_cluster(d, "a", 0), InvalidArgument);
+  EXPECT_THROW(greedy_cluster(d, "a", 3), InvalidArgument);
+  EXPECT_THROW(greedy_cluster(d, "zz", 1), NotFoundError);
+  EXPECT_THROW(best_cluster_exhaustive(d, "a", 0), InvalidArgument);
+  const ClusterResult one = best_cluster_exhaustive(d, "a", 1);
+  EXPECT_EQ(one.nodes, (std::vector<std::string>{"a"}));
+  EXPECT_DOUBLE_EQ(one.cost, 0.0);
+}
+
+// Property: greedy cluster always contains the start node, has the
+// requested size, no duplicates, and never beats the exhaustive optimum.
+class GreedyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyProperty, InvariantsOnRandomDistanceMatrices) {
+  Rng rng(GetParam());
+  // Random complete graph of 6 compute nodes via a star topology with
+  // per-spoke capacities.
+  core::NetworkGraph g;
+  core::GraphNode hub;
+  hub.name = "hub";
+  hub.is_compute = false;
+  g.add_node(hub);
+  std::vector<std::string> names;
+  for (int i = 0; i < 6; ++i) {
+    core::GraphNode n;
+    n.name = "h" + std::to_string(i);
+    g.add_node(n);
+    names.push_back(n.name);
+    core::GraphLink l;
+    l.a = n.name;
+    l.b = "hub";
+    l.capacity = Measurement::exact(mbps(rng.uniform(10, 100)));
+    l.latency = Measurement::exact(millis(rng.uniform(0.1, 5)));
+    g.add_link(l);
+  }
+  const DistanceMatrix d(g, names);
+  const std::string start = names[rng.below(names.size())];
+  const std::size_t k = 2 + rng.below(5);
+  const ClusterResult greedy = greedy_cluster(d, start, k);
+  EXPECT_EQ(greedy.nodes.size(), k);
+  EXPECT_EQ(greedy.nodes.front(), start);
+  std::set<std::string> unique(greedy.nodes.begin(), greedy.nodes.end());
+  EXPECT_EQ(unique.size(), k);
+  const ClusterResult best = best_cluster_exhaustive(d, start, k);
+  EXPECT_GE(greedy.cost + 1e-9, best.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyProperty,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace remos::cluster

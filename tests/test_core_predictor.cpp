@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "apps/harness.hpp"
+#include "core/predictor.hpp"
+#include "netsim/traffic.hpp"
+#include "util/error.hpp"
+
+namespace remos::core {
+namespace {
+
+std::vector<TimedSample> series(std::initializer_list<double> values) {
+  std::vector<TimedSample> out;
+  double t = 0;
+  for (double v : values) out.push_back(TimedSample{t += 1.0, v});
+  return out;
+}
+
+TEST(Predictors, EmptyInputIsUnknown) {
+  LastValuePredictor lv;
+  WindowMeanPredictor wm;
+  EwmaPredictor ew(0.5);
+  for (const Predictor* p : {static_cast<const Predictor*>(&lv),
+                             static_cast<const Predictor*>(&wm),
+                             static_cast<const Predictor*>(&ew)}) {
+    const Measurement m = p->predict({});
+    EXPECT_FALSE(m.known());
+  }
+}
+
+TEST(Predictors, LastValueTracksLatest) {
+  LastValuePredictor p;
+  const Measurement m = p.predict(series({10, 20, 30, 90}));
+  EXPECT_DOUBLE_EQ(m.quartiles.median, 90);
+  EXPECT_DOUBLE_EQ(m.mean, 90);
+}
+
+TEST(Predictors, WindowMeanIsWindowStatistics) {
+  WindowMeanPredictor p;
+  const Measurement m = p.predict(series({10, 20, 30, 40}));
+  EXPECT_DOUBLE_EQ(m.mean, 25);
+  EXPECT_DOUBLE_EQ(m.quartiles.min, 10);
+  EXPECT_DOUBLE_EQ(m.quartiles.max, 40);
+}
+
+TEST(Predictors, EwmaWeighsRecentMore) {
+  EwmaPredictor fast(0.9);
+  EwmaPredictor slow(0.1);
+  const auto s = series({0, 0, 0, 0, 0, 0, 0, 0, 100});
+  EXPECT_GT(fast.predict(s).quartiles.median, 85.0);
+  EXPECT_LT(slow.predict(s).quartiles.median, 15.0);
+}
+
+TEST(Predictors, EwmaValidatesAlpha) {
+  EXPECT_THROW(EwmaPredictor(0.0), InvalidArgument);
+  EXPECT_THROW(EwmaPredictor(1.5), InvalidArgument);
+  EXPECT_NO_THROW(EwmaPredictor(1.0));
+}
+
+TEST(Predictors, ForecastsClampNonNegative) {
+  LastValuePredictor p;
+  // Shifting quartiles down to center 0 must not go negative.
+  const Measurement m = p.predict(series({100, 100, 100, 0}));
+  EXPECT_GE(m.quartiles.min, 0.0);
+  EXPECT_DOUBLE_EQ(m.quartiles.median, 0.0);
+}
+
+TEST(Predictors, NamesAreDistinct) {
+  EXPECT_EQ(LastValuePredictor{}.name(), "last-value");
+  EXPECT_EQ(WindowMeanPredictor{}.name(), "window-mean");
+  EXPECT_EQ(EwmaPredictor{0.25}.name(), "ewma(0.25)");
+  EXPECT_NE(make_default_predictor(), nullptr);
+}
+
+TEST(FutureTimeframe, EndToEndPredictionThroughModeler) {
+  apps::CmuHarness harness;
+  harness.start(5.0);
+  // Ramp: traffic grows over time; a future query should sit near the
+  // recent (higher) usage, not the whole-window average.
+  netsim::CbrTraffic low(harness.sim(), "m-4", "m-5", mbps(10));
+  harness.sim().run_for(40.0);
+  low.stop();
+  netsim::CbrTraffic high(harness.sim(), "m-4", "m-5", mbps(70));
+  harness.sim().run_for(20.0);
+
+  harness.modeler().set_predictor(std::make_unique<EwmaPredictor>(0.5));
+  const NetworkGraph g = harness.modeler().get_graph(
+      {"m-4", "m-5"}, Timeframe::future(10.0, 60.0));
+  bool flipped = false;
+  const GraphLink* l = g.find_link("m-4", "m-5", &flipped);
+  ASSERT_NE(l, nullptr);
+  const Measurement used = flipped ? l->used_ba : l->used_ab;
+  EXPECT_GT(used.quartiles.median, mbps(55));  // tracks the recent regime
+
+  // A plain history query over the same window reports the mixed average.
+  const NetworkGraph g2 = harness.modeler().get_graph(
+      {"m-4", "m-5"}, Timeframe::history(60.0));
+  const GraphLink* l2 = g2.find_link("m-4", "m-5", &flipped);
+  ASSERT_NE(l2, nullptr);
+  const Measurement used2 = flipped ? l2->used_ba : l2->used_ab;
+  EXPECT_LT(used2.quartiles.median, mbps(40));
+}
+
+TEST(FutureTimeframe, SetPredictorRejectsNull) {
+  apps::CmuHarness harness;
+  EXPECT_THROW(harness.modeler().set_predictor(nullptr), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace remos::core

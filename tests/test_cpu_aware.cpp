@@ -1,0 +1,144 @@
+// Tests for the computation/communication-tradeoff extension (§7.2 calls
+// it out as needed future work): simulator-owned CPU load, its exposure
+// through host agents, load-aware clustering and the Fx runtime's
+// slowdown on busy hosts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/harness.hpp"
+#include "cluster/clustering.hpp"
+#include "fx/adaptation.hpp"
+#include "fx/runtime.hpp"
+#include "util/error.hpp"
+
+namespace remos {
+namespace {
+
+using apps::CmuHarness;
+using core::Timeframe;
+
+TEST(CpuLoad, SimulatorAccessorsAndValidation) {
+  netsim::Simulator sim(netsim::make_cmu_testbed());
+  const auto m1 = sim.topology().id_of("m-1");
+  EXPECT_DOUBLE_EQ(sim.cpu_load(m1), 0.0);
+  EXPECT_DOUBLE_EQ(sim.effective_speed(m1), 1.0);
+  sim.set_cpu_load(m1, 0.75);
+  EXPECT_DOUBLE_EQ(sim.cpu_load(m1), 0.75);
+  EXPECT_DOUBLE_EQ(sim.effective_speed(m1), 0.25);
+  EXPECT_THROW(sim.set_cpu_load(m1, -0.1), InvalidArgument);
+  EXPECT_THROW(sim.set_cpu_load(m1, 1.0), InvalidArgument);
+}
+
+TEST(CpuLoad, ComputePhasesSlowOnBusyHosts) {
+  CmuHarness idle, busy;
+  fx::AppModel app;
+  app.name = "compute";
+  app.iterations = 1;
+  fx::ComputePhase c;
+  c.parallel_seconds = 8.0;
+  app.phases = {c};
+  const std::vector<std::string> nodes{"m-4", "m-5"};
+
+  const double t_idle = fx::FxRuntime(idle.sim(), app, nodes).run().total;
+  // m-5 at 50% load: its half of the work takes twice as long, and the
+  // synchronous phase waits for it.
+  busy.sim().set_cpu_load(busy.sim().topology().id_of("m-5"), 0.5);
+  const double t_busy = fx::FxRuntime(busy.sim(), app, nodes).run().total;
+  EXPECT_NEAR(t_idle, 4.0, 1e-9);
+  EXPECT_NEAR(t_busy, 8.0, 1e-9);
+}
+
+TEST(CpuLoad, ReachesModelerThroughHostAgents) {
+  CmuHarness harness;
+  harness.sim().set_cpu_load(harness.sim().topology().id_of("m-6"), 0.8);
+  harness.start(4.0);
+  const auto g =
+      harness.modeler().get_graph(harness.hosts(), Timeframe::current());
+  EXPECT_TRUE(g.node("m-6").has_host_info);
+  EXPECT_DOUBLE_EQ(g.node("m-6").cpu_load, 0.8);
+  EXPECT_DOUBLE_EQ(g.node("m-1").cpu_load, 0.0);
+}
+
+TEST(CpuLoad, CpuCostsBuildFromGraph) {
+  CmuHarness harness;
+  harness.sim().set_cpu_load(harness.sim().topology().id_of("m-2"), 0.6);
+  harness.start(4.0);
+  const auto g =
+      harness.modeler().get_graph(harness.hosts(), Timeframe::current());
+  const cluster::NodeCosts costs = cluster::cpu_costs(g, 2.0);
+  EXPECT_DOUBLE_EQ(costs.at("m-2"), 1.2);
+  EXPECT_DOUBLE_EQ(costs.at("m-1"), 0.0);
+  // Routers have no host info and get no entry.
+  EXPECT_FALSE(costs.contains("timberline"));
+}
+
+TEST(CpuLoad, ClusteringAvoidsLoadedHosts) {
+  CmuHarness harness;
+  // m-5 and m-6 (the network-preferred same-router partners of m-4) are
+  // busy; clustering with a CPU term should skip them.
+  harness.sim().set_cpu_load(harness.sim().topology().id_of("m-5"), 0.9);
+  harness.sim().set_cpu_load(harness.sim().topology().id_of("m-6"), 0.9);
+  harness.start(6.0);
+  const auto g =
+      harness.modeler().get_graph(harness.hosts(), Timeframe::current());
+  const cluster::DistanceMatrix d(g, harness.hosts());
+
+  auto network_only = cluster::greedy_cluster(d, "m-4", 3);
+  std::sort(network_only.nodes.begin(), network_only.nodes.end());
+  EXPECT_EQ(network_only.nodes,
+            (std::vector<std::string>{"m-4", "m-5", "m-6"}));
+
+  const cluster::NodeCosts costs = cluster::cpu_costs(g, 1.0);
+  auto load_aware = cluster::greedy_cluster(d, "m-4", 3, costs);
+  std::sort(load_aware.nodes.begin(), load_aware.nodes.end());
+  EXPECT_EQ(load_aware.nodes,
+            (std::vector<std::string>{"m-1", "m-2", "m-4"}));
+  // The tradeoff is real: a tiny CPU weight is not worth three hops.
+  const cluster::NodeCosts timid = cluster::cpu_costs(g, 0.001);
+  auto near_network = cluster::greedy_cluster(d, "m-4", 3, timid);
+  std::sort(near_network.nodes.begin(), near_network.nodes.end());
+  EXPECT_EQ(near_network.nodes,
+            (std::vector<std::string>{"m-4", "m-5", "m-6"}));
+}
+
+TEST(CpuLoad, ExhaustiveAgreesUnderNodeCosts) {
+  CmuHarness harness;
+  harness.sim().set_cpu_load(harness.sim().topology().id_of("m-5"), 0.9);
+  harness.start(4.0);
+  const auto g =
+      harness.modeler().get_graph(harness.hosts(), Timeframe::current());
+  const cluster::DistanceMatrix d(g, harness.hosts());
+  const cluster::NodeCosts costs = cluster::cpu_costs(g, 1.0);
+  for (std::size_t k : {2u, 3u, 4u}) {
+    const auto greedy = cluster::greedy_cluster(d, "m-4", k, costs);
+    const auto best = cluster::best_cluster_exhaustive(d, "m-4", k, costs);
+    EXPECT_GE(greedy.cost + 1e-9, best.cost);
+    EXPECT_LE(greedy.cost, best.cost * 1.3 + 1e-9);
+  }
+}
+
+TEST(CpuLoad, AdaptationMigratesOffLoadedHost) {
+  CmuHarness harness;
+  harness.start(6.0);
+  // The app runs on {m-4, m-5}; m-5 acquires a heavy competing job.
+  harness.sim().set_cpu_load(harness.sim().topology().id_of("m-5"), 0.9);
+  harness.sim().run_for(4.0);
+
+  fx::AdaptationModule::Options network_only;
+  network_only.timeframe = Timeframe::current();
+  fx::AdaptationModule blind(harness.modeler(), harness.hosts(), "m-4",
+                             network_only);
+  EXPECT_FALSE(blind.evaluate({"m-4", "m-5"}).migrate);
+
+  fx::AdaptationModule::Options aware = network_only;
+  aware.cpu_weight = 1.0;
+  fx::AdaptationModule seeing(harness.modeler(), harness.hosts(), "m-4",
+                              aware);
+  const auto d = seeing.evaluate({"m-4", "m-5"});
+  EXPECT_TRUE(d.migrate);
+  EXPECT_EQ(std::count(d.nodes.begin(), d.nodes.end(), "m-5"), 0);
+}
+
+}  // namespace
+}  // namespace remos

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "apps/harness.hpp"
+#include "fx/adaptation.hpp"
+#include "fx/runtime.hpp"
+#include "netsim/traffic.hpp"
+#include "util/error.hpp"
+
+namespace remos::fx {
+namespace {
+
+using apps::CmuHarness;
+
+AppModel tiny_app(std::size_t iterations = 1) {
+  AppModel app;
+  app.name = "tiny";
+  app.iterations = iterations;
+  ComputePhase c;
+  c.parallel_seconds = 1.0;
+  CommPhase k;
+  k.pattern = Pattern::kAllToAll;
+  k.volume = 10e6;  // 10 MB
+  app.phases = {c, k};
+  return app;
+}
+
+TEST(FxRuntimeTest, ComputeScalesWithNodes) {
+  CmuHarness h2, h4;
+  AppModel app;
+  app.name = "compute-only";
+  app.iterations = 1;
+  ComputePhase c;
+  c.parallel_seconds = 8.0;
+  app.phases = {c};
+
+  FxRuntime two(h2.sim(), app, {"m-4", "m-5"});
+  const RunStats s2 = two.run();
+  EXPECT_NEAR(s2.total, 4.0, 1e-6);
+
+  FxRuntime four(h4.sim(), app, {"m-4", "m-5", "m-6", "m-7"});
+  const RunStats s4 = four.run();
+  EXPECT_NEAR(s4.total, 2.0, 1e-6);
+}
+
+TEST(FxRuntimeTest, SerialFractionDoesNotScale) {
+  CmuHarness h;
+  AppModel app;
+  app.name = "serial";
+  app.iterations = 2;
+  ComputePhase c;
+  c.parallel_seconds = 4.0;
+  c.serial_seconds = 1.0;
+  app.phases = {c};
+  FxRuntime rt(h.sim(), app, {"m-4", "m-5", "m-6", "m-7"});
+  EXPECT_NEAR(rt.run().total, 2 * (1.0 + 1.0), 1e-6);
+}
+
+TEST(FxRuntimeTest, ChunkImbalancePenalizesMismatchedNodeCount) {
+  // Compiled for 8 chunks, run on 5 nodes: the busiest node carries 2/8
+  // of the work, vs 1/5 when perfectly decomposed -- a 1.25x compute
+  // penalty (the paper's Table 3 "compiled for 8, running on 5" artifact).
+  CmuHarness ha, hb;
+  AppModel native;
+  native.name = "native";
+  native.iterations = 1;
+  ComputePhase c;
+  c.parallel_seconds = 10.0;
+  native.phases = {c};
+  AppModel pinned = native;
+  pinned.chunks = 8;
+
+  std::vector<std::string> five{"m-4", "m-5", "m-6", "m-7", "m-8"};
+  const RunStats sn = FxRuntime(ha.sim(), native, five).run();
+  const RunStats sp = FxRuntime(hb.sim(), pinned, five).run();
+  EXPECT_NEAR(sn.total, 2.0, 1e-6);
+  EXPECT_NEAR(sp.total, 2.5, 1e-6);
+}
+
+TEST(FxRuntimeTest, CommPhaseMovesRealBytes) {
+  CmuHarness h;
+  AppModel app = tiny_app();
+  FxRuntime rt(h.sim(), app, {"m-4", "m-5"});
+  const RunStats s = rt.run();
+  // All-to-all of 10 MB over 2 nodes: each direction ships 2.5 MB at
+  // 100 Mbps in parallel = 0.2 s (+ small overheads), compute 0.5 s.
+  EXPECT_NEAR(s.compute, 0.5, 1e-6);
+  EXPECT_NEAR(s.communication, 0.2, 0.05);
+  EXPECT_NEAR(s.total, s.compute + s.communication, 1e-9);
+}
+
+TEST(FxRuntimeTest, SingleNodeSkipsCommunication) {
+  CmuHarness h;
+  FxRuntime rt(h.sim(), tiny_app(), {"m-4"});
+  const RunStats s = rt.run();
+  EXPECT_NEAR(s.compute, 1.0, 1e-9);
+  EXPECT_LT(s.communication, 0.01);  // just the phase overhead
+}
+
+TEST(FxRuntimeTest, ExternalTrafficSlowsCommunication) {
+  CmuHarness clean, busy;
+  std::vector<std::string> nodes{"m-4", "m-6"};
+  const RunStats fast = FxRuntime(clean.sim(), tiny_app(), nodes).run();
+  netsim::CbrTraffic blast(busy.sim(), "m-6", "m-8", mbps(95), 19.0);
+  const RunStats slow = FxRuntime(busy.sim(), tiny_app(), nodes).run();
+  EXPECT_GT(slow.communication, 3.0 * fast.communication);
+  EXPECT_NEAR(slow.compute, fast.compute, 1e-9);
+}
+
+TEST(FxRuntimeTest, RingBroadcastReducePatterns) {
+  for (const Pattern p :
+       {Pattern::kRing, Pattern::kBroadcast, Pattern::kReduce}) {
+    CmuHarness h;
+    AppModel app;
+    app.name = "pat";
+    app.iterations = 1;
+    CommPhase k;
+    k.pattern = p;
+    k.volume = 30e6;
+    app.phases = {k};
+    FxRuntime rt(h.sim(), app, {"m-4", "m-5", "m-6"});
+    const RunStats s = rt.run();
+    EXPECT_GT(s.communication, 0.01) << to_string(p);
+    EXPECT_LT(s.communication, 3.0) << to_string(p);
+  }
+}
+
+TEST(FxRuntimeTest, Validation) {
+  CmuHarness h;
+  EXPECT_THROW(FxRuntime(h.sim(), tiny_app(), {}), InvalidArgument);
+  EXPECT_THROW(FxRuntime(h.sim(), tiny_app(), {"m-4", "m-4"}),
+               InvalidArgument);
+  EXPECT_THROW(FxRuntime(h.sim(), tiny_app(), {"nope"}), NotFoundError);
+  AppModel pinned = tiny_app();
+  pinned.chunks = 2;
+  EXPECT_THROW(FxRuntime(h.sim(), pinned, {"m-1", "m-2", "m-3"}),
+               InvalidArgument);
+  AppModel zero = tiny_app();
+  zero.iterations = 0;
+  EXPECT_THROW(FxRuntime(h.sim(), zero, {"m-1"}), InvalidArgument);
+}
+
+class AdaptationOnTestbed : public ::testing::Test {
+ protected:
+  AdaptationOnTestbed() { harness_.start(10.0); }
+  CmuHarness harness_;
+};
+
+TEST_F(AdaptationOnTestbed, NoTrafficMeansNoMigration) {
+  AdaptationModule adapt(harness_.modeler(), harness_.hosts(), "m-4");
+  const auto d = adapt.evaluate({"m-4", "m-5", "m-6"});
+  EXPECT_FALSE(d.migrate);
+  EXPECT_LE(d.best_cost, d.current_cost + 1e-9);
+  EXPECT_EQ(adapt.evaluations(), 1u);
+}
+
+TEST_F(AdaptationOnTestbed, MigratesAwayFromTraffic) {
+  netsim::CbrTraffic blast(harness_.sim(), "m-6", "m-8", mbps(95), 19.0);
+  harness_.sim().run_for(12.0);
+  AdaptationModule::Options opts;
+  opts.timeframe = core::Timeframe::history(10.0);
+  AdaptationModule adapt(harness_.modeler(), harness_.hosts(), "m-4", opts);
+  // Current mapping straddles the hot link.
+  const auto d = adapt.evaluate({"m-4", "m-6", "m-8"});
+  EXPECT_TRUE(d.migrate);
+  EXPECT_LT(d.best_cost, d.current_cost);
+  // Recommended set avoids m-6 and m-8 (their access links are hot).
+  const std::set<std::string> rec(d.nodes.begin(), d.nodes.end());
+  EXPECT_TRUE(rec.contains("m-4"));
+  EXPECT_FALSE(rec.contains("m-8"));
+}
+
+TEST_F(AdaptationOnTestbed, OwnTrafficFallacyAndCompensation) {
+  // The §8.3 fallacy: an app on {m-4, m-5, m-6} whose m-5/m-6 exchange
+  // saturates those access links sees them busy and wants to move to the
+  // idle aspen hosts -- fleeing its own traffic.  With compensation the
+  // module credits the app's traffic back and stays put.
+  netsim::CbrTraffic up(harness_.sim(), "m-5", "m-6", mbps(60));
+  netsim::CbrTraffic down(harness_.sim(), "m-6", "m-5", mbps(60));
+  harness_.sim().run_for(12.0);
+  const std::vector<std::string> current{"m-4", "m-5", "m-6"};
+
+  AdaptationModule::Options naive;
+  naive.timeframe = core::Timeframe::history(10.0);
+  AdaptationModule adapt_naive(harness_.modeler(), harness_.hosts(), "m-4",
+                               naive);
+  const auto d1 = adapt_naive.evaluate(current);
+  EXPECT_TRUE(d1.migrate);  // flees its own traffic
+
+  AdaptationModule::Options comp = naive;
+  comp.compensate_own_traffic = true;
+  AdaptationModule adapt_comp(harness_.modeler(), harness_.hosts(), "m-4",
+                              comp);
+  const auto d2 = adapt_comp.evaluate(current, mbps(60));
+  EXPECT_FALSE(d2.migrate);
+}
+
+TEST_F(AdaptationOnTestbed, ThresholdSuppressesMarginalMoves) {
+  netsim::CbrTraffic mild(harness_.sim(), "m-6", "m-8", mbps(10));
+  harness_.sim().run_for(12.0);
+  AdaptationModule::Options opts;
+  opts.timeframe = core::Timeframe::history(10.0);
+  opts.improvement_threshold = 0.5;  // demand a 50% gain
+  AdaptationModule adapt(harness_.modeler(), harness_.hosts(), "m-4", opts);
+  const auto d = adapt.evaluate({"m-4", "m-6", "m-8"});
+  EXPECT_FALSE(d.migrate);  // 10 Mbps of cross-traffic is not worth it
+}
+
+TEST_F(AdaptationOnTestbed, Validation) {
+  EXPECT_THROW(AdaptationModule(harness_.modeler(), {"m-1"}, "m-1"),
+               InvalidArgument);
+  EXPECT_THROW(
+      AdaptationModule(harness_.modeler(), {"m-1", "m-2"}, "m-9"),
+      InvalidArgument);
+  AdaptationModule ok(harness_.modeler(), harness_.hosts(), "m-1");
+  EXPECT_THROW(ok.evaluate({}), InvalidArgument);
+  EXPECT_THROW(ok.evaluate({"not-a-candidate"}), InvalidArgument);
+}
+
+TEST_F(AdaptationOnTestbed, RuntimeMigratesUnderInterference) {
+  // An iterative app starts on nodes crossing the hot link and must end
+  // up mostly on clean nodes, completing faster than a pinned run.
+  netsim::CbrTraffic blast(harness_.sim(), "m-6", "m-8", mbps(95), 19.0);
+  harness_.sim().run_for(12.0);
+
+  AppModel app;
+  app.name = "adaptive-tiny";
+  app.iterations = 6;
+  ComputePhase c;
+  c.parallel_seconds = 4.0;
+  CommPhase k;
+  k.pattern = Pattern::kAllToAll;
+  k.volume = 40e6;
+  app.phases = {c, k};
+
+  const std::vector<std::string> bad_start{"m-4", "m-6", "m-8"};
+
+  CmuHarness pinned_harness;
+  pinned_harness.start(12.0);
+  netsim::CbrTraffic blast2(pinned_harness.sim(), "m-6", "m-8", mbps(95),
+                            19.0);
+  pinned_harness.sim().run_for(12.0);
+  const RunStats pinned =
+      FxRuntime(pinned_harness.sim(), app, bad_start).run();
+
+  AdaptationModule::Options opts;
+  opts.timeframe = core::Timeframe::history(10.0);
+  opts.compensate_own_traffic = true;
+  AdaptationModule adapt(harness_.modeler(), harness_.hosts(), "m-4", opts);
+  FxRuntime rt(harness_.sim(), app, bad_start);
+  rt.set_adaptation(&adapt);
+  const RunStats adaptive = rt.run();
+
+  EXPECT_GE(adaptive.migrations, 1u);
+  EXPECT_LT(adaptive.total, pinned.total);
+  // Final mapping avoids the blast's endpoints.
+  const auto& final_nodes = adaptive.mappings.back();
+  const std::set<std::string> fin(final_nodes.begin(), final_nodes.end());
+  EXPECT_FALSE(fin.contains("m-6"));
+  EXPECT_FALSE(fin.contains("m-8"));
+}
+
+}  // namespace
+}  // namespace remos::fx
+namespace remos::fx {
+namespace {
+
+TEST(FxRuntimeAccounting, StatsPartitionTheRun) {
+  apps::CmuHarness h;
+  h.start(6.0);
+  AppModel app;
+  app.name = "acct";
+  app.iterations = 4;
+  ComputePhase c;
+  c.parallel_seconds = 2.0;
+  CommPhase k;
+  k.pattern = Pattern::kAllToAll;
+  k.volume = 20e6;
+  app.phases = {c, k};
+  AdaptationModule adapt(h.modeler(), h.hosts(), "m-4");
+  FxRuntime rt(h.sim(), app, {"m-4", "m-5"});
+  rt.set_adaptation(&adapt);
+  const RunStats s = rt.run();
+  EXPECT_NEAR(s.total, s.compute + s.communication + s.adaptation_overhead,
+              1e-6);
+  EXPECT_EQ(adapt.evaluations(), 3u);  // iterations 2..4
+  ASSERT_FALSE(s.mappings.empty());
+  EXPECT_EQ(s.mappings.size(), s.migrations + 1);
+}
+
+}  // namespace
+}  // namespace remos::fx

@@ -1,0 +1,160 @@
+// Topology text format and DOT rendering.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "apps/harness.hpp"
+#include "core/graph_dot.hpp"
+#include "netsim/testbeds.hpp"
+#include "netsim/simulator.hpp"
+#include "netsim/topology_io.hpp"
+#include "util/error.hpp"
+
+namespace remos::netsim {
+namespace {
+
+constexpr const char* kSample = R"(# a tiny testbed
+node a compute
+node b compute 0 2.0        # twice the reference speed
+node r network 50           # 50 Mbps backplane
+
+link a r 100 0.2
+link r b 10 1.5
+)";
+
+TEST(TopologyIo, LoadsSample) {
+  const Topology t = load_topology_string(kSample);
+  EXPECT_EQ(t.node_count(), 3u);
+  EXPECT_EQ(t.link_count(), 2u);
+  EXPECT_EQ(t.node(t.id_of("b")).cpu_speed, 2.0);
+  EXPECT_EQ(t.node(t.id_of("r")).internal_bw, mbps(50));
+  EXPECT_EQ(t.node(t.id_of("r")).kind, NodeKind::kNetwork);
+  const Link& l = t.link(t.link_between(t.id_of("r"), t.id_of("b")));
+  EXPECT_DOUBLE_EQ(l.capacity, mbps(10));
+  EXPECT_DOUBLE_EQ(l.latency, millis(1.5));
+}
+
+TEST(TopologyIo, RoundTripsTheCmuTestbed) {
+  const Topology original = make_cmu_testbed();
+  const Topology reloaded =
+      load_topology_string(save_topology_string(original));
+  EXPECT_EQ(reloaded.node_count(), original.node_count());
+  EXPECT_EQ(reloaded.link_count(), original.link_count());
+  for (const Node& n : original.nodes()) {
+    const Node& rn = reloaded.node(reloaded.id_of(n.name));
+    EXPECT_EQ(rn.kind, n.kind);
+    EXPECT_NEAR(rn.internal_bw, n.internal_bw, 1);
+    EXPECT_NEAR(rn.cpu_speed, n.cpu_speed, 1e-3);
+  }
+  for (const Link& l : original.links()) {
+    const LinkId rl = reloaded.link_between(
+        reloaded.id_of(original.name_of(l.a)),
+        reloaded.id_of(original.name_of(l.b)));
+    ASSERT_NE(rl, kInvalidLink);
+    EXPECT_NEAR(reloaded.link(rl).capacity, l.capacity, 1);
+    EXPECT_NEAR(reloaded.link(rl).latency, l.latency, 1e-6);
+  }
+  // The reloaded topology routes identically.
+  EXPECT_TRUE(reloaded.connected());
+}
+
+TEST(TopologyIo, RoundTripsFigure1WithBackplanes) {
+  const Topology original = make_figure1(mbps(10));
+  const Topology reloaded =
+      load_topology_string(save_topology_string(original));
+  EXPECT_EQ(reloaded.node(reloaded.id_of("A")).internal_bw, mbps(10));
+}
+
+TEST(TopologyIo, ErrorsCarryLineNumbers) {
+  auto expect_fail = [](const std::string& text, const char* fragment) {
+    try {
+      (void)load_topology_string(text);
+      FAIL() << "expected InvalidArgument for: " << text;
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_fail("frob x y\n", "line 1");
+  expect_fail("node a compute\nnode a compute\n", "line 2");
+  expect_fail("node a wibble\n", "'compute' or 'network'");
+  expect_fail("node a compute x\n", "bad internal_bw");
+  expect_fail("link a b 10\n", "link needs");
+  expect_fail("node a compute\nlink a ghost 10 1\n", "unknown node");
+  expect_fail("node a compute\nnode b compute\nlink a b ten 1\n",
+              "bad capacity");
+}
+
+TEST(TopologyIo, MissingFileReported) {
+  EXPECT_THROW(load_topology_file("/no/such/file.topo"), NotFoundError);
+}
+
+TEST(TopologyIo, CommentsAndBlanksIgnored) {
+  const Topology t = load_topology_string(
+      "\n# only comments\n\nnode x compute\n   \nnode y compute\n"
+      "link x y 1 0.1  # inline\n");
+  EXPECT_EQ(t.node_count(), 2u);
+  EXPECT_EQ(t.link_count(), 1u);
+}
+
+}  // namespace
+}  // namespace remos::netsim
+
+namespace remos::core {
+namespace {
+
+TEST(GraphDot, RendersTestbedGraph) {
+  apps::CmuHarness harness;
+  harness.start(4.0);
+  const NetworkGraph g = harness.modeler().get_graph(
+      {"m-1", "m-4", "m-8"}, Timeframe::current());
+  const std::string dot = to_dot(g, "cmu");
+  EXPECT_NE(dot.find("graph \"cmu\" {"), std::string::npos);
+  EXPECT_NE(dot.find("\"m-1\" [shape=box]"), std::string::npos);
+  EXPECT_NE(dot.find("[shape=ellipse]"), std::string::npos);
+  EXPECT_NE(dot.find("--"), std::string::npos);
+  EXPECT_NE(dot.find("max-min-fair"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(GraphDot, DashedLogicalLinksAndCpuLabels) {
+  apps::CmuHarness harness;
+  harness.sim().set_cpu_load(harness.sim().topology().id_of("m-1"), 0.5);
+  harness.start(4.0);
+  const NetworkGraph g =
+      harness.modeler().get_graph({"m-1", "m-8"}, Timeframe::current());
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // collapsed
+  EXPECT_NE(dot.find("cpu 50%"), std::string::npos);
+}
+
+TEST(GraphDot, EscapesQuotes) {
+  NetworkGraph g;
+  GraphNode n;
+  n.name = "we\"ird";
+  g.add_node(n);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace remos::core
+namespace remos::netsim {
+namespace {
+
+TEST(TopologyIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/remos_testbed.topo";
+  {
+    std::ofstream out(path);
+    save_topology(make_cmu_testbed(), out);
+  }
+  const Topology t = load_topology_file(path);
+  EXPECT_EQ(t.node_count(), 11u);
+  EXPECT_EQ(t.link_count(), 11u);
+  Simulator sim(t);  // and it simulates
+  const auto f = sim.start_flow("m-1", "m-8");
+  EXPECT_NEAR(sim.flow_rate(f), mbps(100), 1);
+}
+
+}  // namespace
+}  // namespace remos::netsim

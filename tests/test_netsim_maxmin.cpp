@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "netsim/maxmin.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace remos::netsim {
+namespace {
+
+MaxMinFlow flow(std::vector<std::size_t> res, double weight = 1.0,
+                double cap = kUnlimitedRate) {
+  return MaxMinFlow{std::move(res), weight, cap};
+}
+
+TEST(MaxMin, SingleFlowTakesWholeLink) {
+  const auto r = max_min_allocate({10.0}, {flow({0})});
+  EXPECT_DOUBLE_EQ(r.rates[0], 10.0);
+  EXPECT_DOUBLE_EQ(r.residual[0], 0.0);
+}
+
+TEST(MaxMin, EqualSplitOnSharedBottleneck) {
+  const auto r = max_min_allocate({9.0}, {flow({0}), flow({0}), flow({0})});
+  for (double x : r.rates) EXPECT_NEAR(x, 3.0, 1e-9);
+}
+
+TEST(MaxMin, PaperVariableFlowExample) {
+  // §4.2: flows with relative requirements 3, 4.5, 9 receive 1, 1.5, 3
+  // (i.e. proportional shares of a 5.5-unit bottleneck).
+  const auto r = max_min_allocate(
+      {5.5}, {flow({0}, 3.0), flow({0}, 4.5), flow({0}, 9.0)});
+  EXPECT_NEAR(r.rates[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.rates[1], 1.5, 1e-9);
+  EXPECT_NEAR(r.rates[2], 3.0, 1e-9);
+}
+
+TEST(MaxMin, DemandCapFreesBandwidthForOthers) {
+  // Classic max-min: caps {1, inf, inf} on a 10-unit link -> {1, 4.5, 4.5}.
+  const auto r = max_min_allocate(
+      {10.0}, {flow({0}, 1.0, 1.0), flow({0}), flow({0})});
+  EXPECT_NEAR(r.rates[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.rates[1], 4.5, 1e-9);
+  EXPECT_NEAR(r.rates[2], 4.5, 1e-9);
+}
+
+TEST(MaxMin, MultiBottleneckTextbookInstance) {
+  // Bertsekas/Gallager-style: link0 cap 2 shared by f0,f1; link1 cap 1
+  // used by f1 only... f1 bottlenecked at link1 (1.0), f0 gets the rest.
+  const auto r = max_min_allocate({2.0, 1.0}, {flow({0}), flow({0, 1})});
+  EXPECT_NEAR(r.rates[1], 1.0, 1e-9);
+  EXPECT_NEAR(r.rates[0], 1.0, 1e-9);
+  // Raise link0 to 3: f0 should now take 2.
+  const auto r2 = max_min_allocate({3.0, 1.0}, {flow({0}), flow({0, 1})});
+  EXPECT_NEAR(r2.rates[0], 2.0, 1e-9);
+  EXPECT_NEAR(r2.rates[1], 1.0, 1e-9);
+}
+
+TEST(MaxMin, FlowOffloadedFromSaturatedResourceGetsMore) {
+  // Three flows, two links; f2 crosses both.  cap {1, 2}.
+  // f2's share on link0 is 0.5; on link1 the remaining flow f1 gets 1.5.
+  const auto r =
+      max_min_allocate({1.0, 2.0}, {flow({0}), flow({1}), flow({0, 1})});
+  EXPECT_NEAR(r.rates[0], 0.5, 1e-9);
+  EXPECT_NEAR(r.rates[2], 0.5, 1e-9);
+  EXPECT_NEAR(r.rates[1], 1.5, 1e-9);
+}
+
+TEST(MaxMin, NoResourcesNoCapMeansUnlimited) {
+  const auto r = max_min_allocate({}, {flow({})});
+  EXPECT_TRUE(std::isinf(r.rates[0]));
+}
+
+TEST(MaxMin, NoResourcesWithCapIsCapped) {
+  const auto r = max_min_allocate({}, {flow({}, 1.0, 7.0)});
+  EXPECT_DOUBLE_EQ(r.rates[0], 7.0);
+}
+
+TEST(MaxMin, ZeroCapacityResourceStarvesFlows) {
+  const auto r = max_min_allocate({0.0}, {flow({0}), flow({0})});
+  EXPECT_DOUBLE_EQ(r.rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.rates[1], 0.0);
+}
+
+TEST(MaxMin, EmptyInstance) {
+  const auto r = max_min_allocate({5.0}, {});
+  EXPECT_TRUE(r.rates.empty());
+  EXPECT_DOUBLE_EQ(r.residual[0], 5.0);
+}
+
+TEST(MaxMin, ValidatesInput) {
+  EXPECT_THROW(max_min_allocate({-1.0}, {}), InvalidArgument);
+  EXPECT_THROW(max_min_allocate({1.0}, {flow({0}, 0.0)}), InvalidArgument);
+  EXPECT_THROW(max_min_allocate({1.0}, {flow({0}, 1.0, -2.0)}),
+               InvalidArgument);
+  EXPECT_THROW(max_min_allocate({1.0}, {flow({3})}), InvalidArgument);
+}
+
+TEST(MaxMin, WeightedSharesOnCommonBottleneck) {
+  const auto r = max_min_allocate({12.0}, {flow({0}, 1.0), flow({0}, 3.0)});
+  EXPECT_NEAR(r.rates[0], 3.0, 1e-9);
+  EXPECT_NEAR(r.rates[1], 9.0, 1e-9);
+}
+
+TEST(MaxMin, CheckerAcceptsSolverOutput) {
+  const std::vector<double> cap{1.0, 2.0, 3.0};
+  const std::vector<MaxMinFlow> flows{flow({0}), flow({0, 1}), flow({1, 2}),
+                                      flow({2}, 2.0), flow({1}, 1.0, 0.25)};
+  const auto r = max_min_allocate(cap, flows);
+  EXPECT_TRUE(is_max_min_fair(cap, flows, r.rates));
+}
+
+TEST(MaxMin, CheckerRejectsOverSubscription) {
+  EXPECT_FALSE(is_max_min_fair({1.0}, {flow({0})}, {2.0}));
+}
+
+TEST(MaxMin, CheckerRejectsUnderAllocation) {
+  // Feasible but not max-min: flow could grow.
+  EXPECT_FALSE(is_max_min_fair({2.0}, {flow({0})}, {1.0}));
+}
+
+TEST(MaxMin, CheckerRejectsUnfairSplit) {
+  EXPECT_FALSE(
+      is_max_min_fair({2.0}, {flow({0}), flow({0})}, {1.5, 0.5}));
+  EXPECT_TRUE(is_max_min_fair({2.0}, {flow({0}), flow({0})}, {1.0, 1.0}));
+}
+
+// Property sweep: random instances; solver output must satisfy the
+// max-min-fairness certificate and conservation bounds.
+class MaxMinProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinProperty, SolverOutputIsFairAndFeasible) {
+  Rng rng(GetParam());
+  const std::size_t nr = 1 + rng.below(8);
+  const std::size_t nf = 1 + rng.below(12);
+  std::vector<double> cap(nr);
+  for (auto& c : cap) c = rng.uniform(0.5, 100.0);
+  std::vector<MaxMinFlow> flows(nf);
+  for (auto& f : flows) {
+    const std::size_t touches = 1 + rng.below(nr);
+    for (std::size_t k = 0; k < touches; ++k) {
+      const std::size_t r = rng.below(nr);
+      if (std::find(f.resources.begin(), f.resources.end(), r) ==
+          f.resources.end())
+        f.resources.push_back(r);
+    }
+    f.weight = rng.uniform(0.25, 4.0);
+    if (rng.chance(0.3)) f.rate_cap = rng.uniform(0.1, 50.0);
+  }
+
+  const auto result = max_min_allocate(cap, flows);
+  EXPECT_TRUE(is_max_min_fair(cap, flows, result.rates));
+
+  // Residuals match capacity minus usage.
+  std::vector<double> used(nr, 0.0);
+  for (std::size_t i = 0; i < nf; ++i)
+    for (std::size_t r : flows[i].resources) used[r] += result.rates[i];
+  for (std::size_t r = 0; r < nr; ++r) {
+    EXPECT_NEAR(result.residual[r], std::max(0.0, cap[r] - used[r]),
+                1e-6 * std::max(1.0, cap[r]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinProperty,
+                         ::testing::Range<std::uint64_t>(1, 65));
+
+}  // namespace
+}  // namespace remos::netsim

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netsim/simulator.hpp"
+#include "netsim/testbeds.hpp"
+#include "util/error.hpp"
+
+namespace remos::netsim {
+namespace {
+
+// Two hosts joined through one router; both links 10 Mbps.
+Topology dumbbell() {
+  Topology t;
+  const NodeId a = t.add_node("a", NodeKind::kCompute);
+  const NodeId b = t.add_node("b", NodeKind::kCompute);
+  const NodeId r = t.add_node("r", NodeKind::kNetwork);
+  t.add_link(a, r, mbps(10), millis(1));
+  t.add_link(r, b, mbps(10), millis(1));
+  return t;
+}
+
+TEST(Simulator, SingleFlowGetsFullPathCapacity) {
+  Simulator sim(dumbbell());
+  const FlowId f = sim.start_flow("a", "b");
+  EXPECT_DOUBLE_EQ(sim.flow_rate(f), mbps(10));
+}
+
+TEST(Simulator, FiniteFlowCompletesAtExactTime) {
+  Simulator sim(dumbbell());
+  bool done = false;
+  FlowOptions opts;
+  opts.volume = 1.25e6;  // 1.25 MB = 10 Mbit -> 1 s at 10 Mbps
+  const FlowId f =
+      sim.start_flow("a", "b", opts, [&](FlowId) { done = true; });
+  sim.run_until(0.999);
+  EXPECT_FALSE(done);
+  EXPECT_TRUE(sim.flow_active(f));
+  sim.run_until(1.001);
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(sim.flow_active(f));
+}
+
+TEST(Simulator, TwoFlowsShareFairly) {
+  Simulator sim(dumbbell());
+  const FlowId f1 = sim.start_flow("a", "b");
+  const FlowId f2 = sim.start_flow("a", "b");
+  EXPECT_NEAR(sim.flow_rate(f1), mbps(5), 1.0);
+  EXPECT_NEAR(sim.flow_rate(f2), mbps(5), 1.0);
+  sim.stop_flow(f2);
+  EXPECT_NEAR(sim.flow_rate(f1), mbps(10), 1.0);
+}
+
+TEST(Simulator, OppositeDirectionsDoNotContend) {
+  // Full duplex: a->b and b->a each get the full 10 Mbps.
+  Simulator sim(dumbbell());
+  const FlowId f1 = sim.start_flow("a", "b");
+  const FlowId f2 = sim.start_flow("b", "a");
+  EXPECT_NEAR(sim.flow_rate(f1), mbps(10), 1.0);
+  EXPECT_NEAR(sim.flow_rate(f2), mbps(10), 1.0);
+}
+
+TEST(Simulator, RateChangesMidFlowStretchCompletion) {
+  // Competing flow appears halfway: completion slips accordingly.
+  Simulator sim(dumbbell());
+  bool done = false;
+  FlowOptions opts;
+  opts.volume = 1.25e6;  // 1 s alone
+  sim.start_flow("a", "b", opts, [&](FlowId) { done = true; });
+  sim.schedule(0.5, [&] { sim.start_flow("a", "b"); });  // competitor
+  // First half second moves 0.625 MB; the rest at 5 Mbps takes 1 more s.
+  sim.run_until(1.49);
+  EXPECT_FALSE(done);
+  sim.run_until(1.51);
+  EXPECT_TRUE(done);
+}
+
+TEST(Simulator, DemandCapLimitsRate) {
+  Simulator sim(dumbbell());
+  FlowOptions opts;
+  opts.demand_cap = mbps(2);
+  const FlowId f = sim.start_flow("a", "b", opts);
+  EXPECT_DOUBLE_EQ(sim.flow_rate(f), mbps(2));
+}
+
+TEST(Simulator, NodeInternalBandwidthCapsAggregate) {
+  // Figure 1 with 10 Mbps switch backplanes: aggregate of four cross
+  // flows is limited to 10 Mbps by node A, not 40 by the access links.
+  Simulator sim(make_figure1(mbps(10)));
+  std::vector<FlowId> flows;
+  for (int i = 1; i <= 4; ++i)
+    flows.push_back(
+        sim.start_flow(std::to_string(i), std::to_string(i + 4)));
+  double total = 0;
+  for (FlowId f : flows) total += sim.flow_rate(f);
+  EXPECT_NEAR(total, mbps(10), 1.0);
+  // With 100 Mbps backplanes the same flows get 10 Mbps each (access-
+  // link-limited), 40 aggregate -- the paper's other reading of Figure 1.
+  Simulator sim2(make_figure1(mbps(100)));
+  double total2 = 0;
+  for (int i = 1; i <= 4; ++i)
+    total2 += sim2.flow_rate(
+        sim2.start_flow(std::to_string(i), std::to_string(i + 4)));
+  EXPECT_NEAR(total2, mbps(40), 1.0);
+}
+
+TEST(Simulator, LinkOctetCountersAccumulate) {
+  Topology t = dumbbell();
+  Simulator sim(t);
+  const LinkId l0 = sim.topology().link_between(sim.topology().id_of("a"),
+                                                sim.topology().id_of("r"));
+  sim.start_flow("a", "b");  // unbounded, 10 Mbps
+  sim.run_until(2.0);
+  const bool from_a = sim.topology().link(l0).a == sim.topology().id_of("a");
+  // 10 Mbps for 2 s = 2.5 MB.
+  EXPECT_NEAR(sim.link_tx_bytes(l0, from_a), 2.5e6, 10.0);
+  EXPECT_NEAR(sim.link_tx_bytes(l0, !from_a), 0.0, 1e-9);
+  EXPECT_NEAR(sim.link_tx_rate(l0, from_a), mbps(10), 1.0);
+  EXPECT_NEAR(sim.link_utilization(l0, from_a), 1.0, 1e-9);
+}
+
+TEST(Simulator, TimersFireInOrder) {
+  Simulator sim(dumbbell());
+  std::vector<int> order;
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(1.0, [&] { order.push_back(11); });  // FIFO among equals
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.run_until(2.5);
+  EXPECT_EQ(order, (std::vector<int>{1, 11, 2}));
+  sim.run_until(3.5);
+  EXPECT_EQ(order.back(), 3);
+}
+
+TEST(Simulator, TimersCanChainAndStartFlows) {
+  Simulator sim(dumbbell());
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired < 5) sim.schedule_in(0.1, tick);
+  };
+  sim.schedule_in(0.1, tick);
+  sim.run_until(1.0);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(Simulator, RunUntilFlowsDone) {
+  Simulator sim(dumbbell());
+  FlowOptions small;
+  small.volume = 1e5;
+  FlowOptions big;
+  big.volume = 1e6;
+  const FlowId f1 = sim.start_flow("a", "b", small);
+  const FlowId f2 = sim.start_flow("a", "b", big);
+  sim.run_until_flows_done({f1, f2});
+  EXPECT_FALSE(sim.flow_active(f1));
+  EXPECT_FALSE(sim.flow_active(f2));
+  // Total 1.1 MB over a 10 Mbps link: 0.88 s regardless of sharing order.
+  EXPECT_NEAR(sim.now(), 0.88, 1e-6);
+}
+
+TEST(Simulator, RunUntilFlowsDoneDetectsStall) {
+  Simulator sim(dumbbell());
+  const FlowId f = sim.start_flow("a", "b");  // unbounded: never completes
+  EXPECT_THROW(sim.run_until_flows_done({f}), Error);
+}
+
+TEST(Simulator, RejectsInvalidFlows) {
+  Simulator sim(dumbbell());
+  const NodeId a = sim.topology().id_of("a");
+  const NodeId r = sim.topology().id_of("r");
+  EXPECT_THROW(sim.start_flow(a, a), InvalidArgument);
+  EXPECT_THROW(sim.start_flow(a, r), InvalidArgument);  // router endpoint
+  FlowOptions bad;
+  bad.weight = 0;
+  EXPECT_THROW(sim.start_flow("a", "b", bad), InvalidArgument);
+  EXPECT_THROW(sim.flow_rate(999), NotFoundError);
+  EXPECT_THROW(sim.run_until(-1.0), InvalidArgument);
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), InvalidArgument);
+}
+
+TEST(Simulator, FlowInfoSnapshot) {
+  Simulator sim(dumbbell());
+  FlowOptions opts;
+  opts.tag = "probe";
+  const FlowId f = sim.start_flow("a", "b", opts);
+  sim.run_until(1.0);
+  const FlowInfo info = sim.flow_info(f);
+  EXPECT_EQ(info.id, f);
+  EXPECT_EQ(info.options.tag, "probe");
+  EXPECT_NEAR(info.sent, 1.25e6, 10.0);
+  EXPECT_EQ(info.started, 0.0);
+  EXPECT_EQ(sim.active_flows().size(), 1u);
+}
+
+TEST(Simulator, StopFlowIsIdempotent) {
+  Simulator sim(dumbbell());
+  const FlowId f = sim.start_flow("a", "b");
+  sim.stop_flow(f);
+  sim.stop_flow(f);  // no-op
+  EXPECT_FALSE(sim.flow_active(f));
+}
+
+TEST(Simulator, CmuCrossTrafficScenario) {
+  // The Table 2 setup: heavy m-6 -> m-8 traffic leaves the aspen side
+  // untouched but squeezes flows crossing timberline->whiteface.
+  Simulator sim(make_cmu_testbed());
+  FlowOptions blast;
+  blast.demand_cap = mbps(95);
+  sim.start_flow("m-6", "m-8", blast);
+  const FlowId clean = sim.start_flow("m-1", "m-2");
+  const FlowId squeezed = sim.start_flow("m-4", "m-7");
+  EXPECT_NEAR(sim.flow_rate(clean), mbps(100), 1.0);
+  // m-4 -> m-7 shares timberline->whiteface with the 95 Mbps blast:
+  // max-min gives it the remaining 5 Mbps... but fair share is 50 each,
+  // and the blast is capped at 95, so the app flow gets 100-95 = 5? No:
+  // max-min splits 50/50 first; the blast is *capped* at 95 but its fair
+  // share is 50, so it gets 50 and the app flow gets 50.
+  EXPECT_NEAR(sim.flow_rate(squeezed), mbps(50), 1.0);
+}
+
+}  // namespace
+}  // namespace remos::netsim

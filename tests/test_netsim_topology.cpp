@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "netsim/testbeds.hpp"
+#include "netsim/topology.hpp"
+#include "util/error.hpp"
+
+namespace remos::netsim {
+namespace {
+
+TEST(Topology, AddAndLookupNodes) {
+  Topology t;
+  const NodeId a = t.add_node("host-a", NodeKind::kCompute);
+  const NodeId r = t.add_node("router", NodeKind::kNetwork, mbps(100));
+  EXPECT_EQ(t.node_count(), 2u);
+  EXPECT_EQ(t.id_of("host-a"), a);
+  EXPECT_EQ(t.id_of("router"), r);
+  EXPECT_TRUE(t.has_node("host-a"));
+  EXPECT_FALSE(t.has_node("nope"));
+  EXPECT_EQ(t.name_of(a), "host-a");
+  EXPECT_EQ(t.node(r).internal_bw, mbps(100));
+}
+
+TEST(Topology, RejectsBadNodes) {
+  Topology t;
+  t.add_node("x", NodeKind::kCompute);
+  EXPECT_THROW(t.add_node("x", NodeKind::kCompute), InvalidArgument);
+  EXPECT_THROW(t.add_node("", NodeKind::kCompute), InvalidArgument);
+  EXPECT_THROW(t.add_node("y", NodeKind::kCompute, -1.0), InvalidArgument);
+  EXPECT_THROW(t.add_node("y", NodeKind::kCompute, 0, 0.0), InvalidArgument);
+  EXPECT_THROW(t.id_of("missing"), NotFoundError);
+  EXPECT_THROW(t.node(99), NotFoundError);
+}
+
+TEST(Topology, AddAndLookupLinks) {
+  Topology t;
+  const NodeId a = t.add_node("a", NodeKind::kCompute);
+  const NodeId b = t.add_node("b", NodeKind::kCompute);
+  const LinkId l = t.add_link(a, b, mbps(10), millis(1));
+  EXPECT_EQ(t.link_count(), 1u);
+  EXPECT_EQ(t.link(l).capacity, mbps(10));
+  EXPECT_EQ(t.link(l).other(a), b);
+  EXPECT_EQ(t.link(l).other(b), a);
+  EXPECT_EQ(t.link_between(a, b), l);
+  EXPECT_EQ(t.link_between(b, a), l);
+  EXPECT_EQ(t.links_at(a).size(), 1u);
+}
+
+TEST(Topology, RejectsBadLinks) {
+  Topology t;
+  const NodeId a = t.add_node("a", NodeKind::kCompute);
+  const NodeId b = t.add_node("b", NodeKind::kCompute);
+  EXPECT_THROW(t.add_link(a, a, mbps(10), 0), InvalidArgument);
+  EXPECT_THROW(t.add_link(a, b, 0, 0), InvalidArgument);
+  EXPECT_THROW(t.add_link(a, b, mbps(1), -1), InvalidArgument);
+  EXPECT_THROW(t.add_link(a, static_cast<NodeId>(7), mbps(1), 0),
+               NotFoundError);
+  EXPECT_THROW(t.link(0), NotFoundError);
+}
+
+TEST(Topology, LinkOtherRejectsNonEndpoint) {
+  Topology t;
+  const NodeId a = t.add_node("a", NodeKind::kCompute);
+  const NodeId b = t.add_node("b", NodeKind::kCompute);
+  const NodeId c = t.add_node("c", NodeKind::kCompute);
+  const LinkId l = t.add_link(a, b, mbps(1), 0);
+  EXPECT_THROW(t.link(l).other(c), InvalidArgument);
+}
+
+TEST(Topology, ComputeNodesFilter) {
+  Topology t = make_cmu_testbed();
+  const auto hosts = t.compute_nodes();
+  EXPECT_EQ(hosts.size(), 8u);
+  for (NodeId n : hosts) EXPECT_EQ(t.node(n).kind, NodeKind::kCompute);
+}
+
+TEST(Topology, ConnectedDetection) {
+  Topology t;
+  const NodeId a = t.add_node("a", NodeKind::kCompute);
+  const NodeId b = t.add_node("b", NodeKind::kCompute);
+  EXPECT_FALSE(t.connected());
+  t.add_link(a, b, mbps(1), 0);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Testbeds, Figure1Shape) {
+  const Topology t = make_figure1(mbps(100));
+  EXPECT_EQ(t.node_count(), 10u);  // 8 hosts + A + B
+  EXPECT_EQ(t.link_count(), 9u);   // 8 access + 1 trunk
+  EXPECT_TRUE(t.connected());
+  EXPECT_EQ(t.node(t.id_of("A")).kind, NodeKind::kNetwork);
+  EXPECT_EQ(t.node(t.id_of("A")).internal_bw, mbps(100));
+  // Access links are 10 Mbps, the A-B trunk 100 Mbps.
+  const LinkId trunk = t.link_between(t.id_of("A"), t.id_of("B"));
+  EXPECT_EQ(t.link(trunk).capacity, mbps(100));
+  const LinkId access = t.link_between(t.id_of("1"), t.id_of("A"));
+  EXPECT_EQ(t.link(access).capacity, mbps(10));
+}
+
+TEST(Testbeds, CmuTestbedShape) {
+  const Topology t = make_cmu_testbed();
+  EXPECT_EQ(t.node_count(), 11u);  // 8 hosts + 3 routers
+  EXPECT_EQ(t.link_count(), 11u);  // 8 access + 3 router triangle
+  EXPECT_TRUE(t.connected());
+  for (const auto& h : CmuNames::hosts())
+    EXPECT_EQ(t.node(t.id_of(h)).kind, NodeKind::kCompute);
+  for (const auto& r : CmuNames::routers())
+    EXPECT_EQ(t.node(t.id_of(r)).kind, NodeKind::kNetwork);
+  // Paper: m-6's traffic to m-8 goes timberline -> whiteface, so m-6 hangs
+  // off timberline and m-8 off whiteface.
+  EXPECT_NE(t.link_between(t.id_of("m-6"), t.id_of("timberline")),
+            kInvalidLink);
+  EXPECT_NE(t.link_between(t.id_of("m-8"), t.id_of("whiteface")),
+            kInvalidLink);
+}
+
+}  // namespace
+}  // namespace remos::netsim

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "netsim/simulator.hpp"
+#include "netsim/testbeds.hpp"
+#include "netsim/traffic.hpp"
+#include "util/error.hpp"
+
+namespace remos::netsim {
+namespace {
+
+Topology pair_topology() {
+  Topology t;
+  const NodeId a = t.add_node("a", NodeKind::kCompute);
+  const NodeId b = t.add_node("b", NodeKind::kCompute);
+  const NodeId r = t.add_node("r", NodeKind::kNetwork);
+  t.add_link(a, r, mbps(10), millis(1));
+  t.add_link(r, b, mbps(10), millis(1));
+  return t;
+}
+
+TEST(CbrTraffic, HoldsConstantRate) {
+  Simulator sim(pair_topology());
+  CbrTraffic cbr(sim, "a", "b", mbps(4));
+  EXPECT_TRUE(cbr.running());
+  EXPECT_DOUBLE_EQ(sim.flow_rate(cbr.flow_id()), mbps(4));
+  sim.run_until(3.0);
+  // 4 Mbps * 3 s = 1.5 MB.
+  EXPECT_NEAR(sim.flow_sent(cbr.flow_id()), 1.5e6, 10.0);
+}
+
+TEST(CbrTraffic, StopReleasesBandwidth) {
+  Simulator sim(pair_topology());
+  CbrTraffic cbr(sim, "a", "b", mbps(8));
+  const FlowId app = sim.start_flow("a", "b");
+  EXPECT_NEAR(sim.flow_rate(app), mbps(5), 1.0);  // fair split
+  cbr.stop();
+  EXPECT_FALSE(cbr.running());
+  EXPECT_THROW(cbr.flow_id(), Error);
+  EXPECT_NEAR(sim.flow_rate(app), mbps(10), 1.0);
+}
+
+TEST(CbrTraffic, HighWeightEmulatesAggressiveSource) {
+  // A weight-19 blaster against a weight-1 app flow takes 95% of the
+  // bottleneck -- the 1998 synthetic-UDP-vs-TCP situation in Table 2.
+  Simulator sim(pair_topology());
+  CbrTraffic cbr(sim, "a", "b", mbps(9.5), 19.0);
+  const FlowId app = sim.start_flow("a", "b");
+  EXPECT_NEAR(sim.flow_rate(app), mbps(0.5), 1e3);
+}
+
+TEST(CbrTraffic, DestructorStopsFlow) {
+  Simulator sim(pair_topology());
+  {
+    CbrTraffic cbr(sim, "a", "b", mbps(4));
+    EXPECT_EQ(sim.active_flow_count(), 1u);
+  }
+  EXPECT_EQ(sim.active_flow_count(), 0u);
+}
+
+TEST(OnOffTraffic, AlternatesAndAveragesOut) {
+  Simulator sim(pair_topology());
+  OnOffTraffic::Config cfg;
+  cfg.rate = mbps(8);
+  cfg.mean_on = 0.5;
+  cfg.mean_off = 0.5;
+  cfg.seed = 42;
+  OnOffTraffic gen(sim, sim.topology().id_of("a"), sim.topology().id_of("b"),
+                   cfg);
+  const LinkId l = sim.topology().link_between(sim.topology().id_of("a"),
+                                               sim.topology().id_of("r"));
+  const bool from_a = sim.topology().link(l).a == sim.topology().id_of("a");
+  sim.run_until(200.0);
+  const double avg_rate = sim.link_tx_bytes(l, from_a) * 8.0 / 200.0;
+  // 50% duty cycle at 8 Mbps -> ~4 Mbps long-run average.
+  EXPECT_NEAR(avg_rate, mbps(4), mbps(1));
+  gen.stop();
+  const Bytes frozen = sim.link_tx_bytes(l, from_a);
+  sim.run_until(210.0);
+  EXPECT_DOUBLE_EQ(sim.link_tx_bytes(l, from_a), frozen);
+}
+
+TEST(OnOffTraffic, StopCancelsPendingTimers) {
+  Simulator sim(pair_topology());
+  OnOffTraffic::Config cfg;
+  cfg.rate = mbps(8);
+  auto gen = std::make_unique<OnOffTraffic>(
+      sim, sim.topology().id_of("a"), sim.topology().id_of("b"), cfg);
+  sim.run_until(1.0);
+  gen->stop();
+  sim.run_until(50.0);  // orphaned timers must be harmless no-ops
+  EXPECT_EQ(sim.active_flow_count(), 0u);
+}
+
+TEST(OnOffTraffic, ValidatesConfig) {
+  Simulator sim(pair_topology());
+  OnOffTraffic::Config bad;
+  bad.rate = 0;
+  EXPECT_THROW(OnOffTraffic(sim, sim.topology().id_of("a"),
+                            sim.topology().id_of("b"), bad),
+               InvalidArgument);
+}
+
+TEST(PoissonTransfers, GeneratesLoadNearConfiguredMean) {
+  Simulator sim(pair_topology());
+  PoissonTransfers::Config cfg;
+  cfg.arrivals_per_sec = 2.0;
+  cfg.mean_size = 5e4;  // 2/s * 50 KB = 0.8 Mbps offered
+  cfg.seed = 7;
+  PoissonTransfers gen(sim, sim.topology().id_of("a"),
+                       sim.topology().id_of("b"), cfg);
+  const LinkId l = sim.topology().link_between(sim.topology().id_of("a"),
+                                               sim.topology().id_of("r"));
+  const bool from_a = sim.topology().link(l).a == sim.topology().id_of("a");
+  sim.run_until(300.0);
+  EXPECT_GT(gen.transfers_started(), 400u);
+  const double avg_rate = sim.link_tx_bytes(l, from_a) * 8.0 / 300.0;
+  EXPECT_NEAR(avg_rate, mbps(0.8), mbps(0.4));
+  gen.stop();
+}
+
+TEST(PoissonTransfers, ValidatesConfig) {
+  Simulator sim(pair_topology());
+  PoissonTransfers::Config bad;
+  bad.pareto_alpha = 1.0;
+  EXPECT_THROW(PoissonTransfers(sim, sim.topology().id_of("a"),
+                                sim.topology().id_of("b"), bad),
+               InvalidArgument);
+}
+
+TEST(PoissonTransfers, InFlightTransfersDrainAfterStop) {
+  Simulator sim(pair_topology());
+  PoissonTransfers::Config cfg;
+  cfg.arrivals_per_sec = 5.0;
+  cfg.mean_size = 1e6;
+  PoissonTransfers gen(sim, sim.topology().id_of("a"),
+                       sim.topology().id_of("b"), cfg);
+  sim.run_until(5.0);
+  gen.stop();
+  sim.run_until(200.0);  // everything outstanding finishes
+  EXPECT_EQ(sim.active_flow_count(), 0u);
+}
+
+}  // namespace
+}  // namespace remos::netsim

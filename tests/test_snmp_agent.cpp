@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netsim/simulator.hpp"
+#include "netsim/testbeds.hpp"
+#include "snmp/agent.hpp"
+#include "snmp/client.hpp"
+#include "snmp/codec.hpp"
+#include "snmp/mib2.hpp"
+#include "util/error.hpp"
+
+namespace remos::snmp {
+namespace {
+
+TEST(Mib, GetAndGetNext) {
+  Mib mib;
+  mib.add_constant(Oid({1, 3, 1}), Value::integer(1));
+  mib.add_constant(Oid({1, 3, 3}), Value::integer(3));
+  EXPECT_EQ(mib.get(Oid({1, 3, 1})).as_integer(), 1);
+  EXPECT_EQ(mib.get(Oid({1, 3, 2})).type(), ValueType::kNoSuchObject);
+  const auto next = mib.get_next(Oid({1, 3, 1}));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->first, Oid({1, 3, 3}));
+  EXPECT_FALSE(mib.get_next(Oid({1, 3, 3})).has_value());
+  // GETNEXT from a prefix finds the first entry under it.
+  EXPECT_EQ(mib.get_next(Oid({1, 3}))->first, Oid({1, 3, 1}));
+}
+
+TEST(Mib, LiveBindingsRead) {
+  Mib mib;
+  int counter = 0;
+  mib.add(Oid({1, 3, 9}), [&] { return Value::integer(++counter); });
+  EXPECT_EQ(mib.get(Oid({1, 3, 9})).as_integer(), 1);
+  EXPECT_EQ(mib.get(Oid({1, 3, 9})).as_integer(), 2);
+  EXPECT_THROW(mib.add(Oid({1, 3, 1}), nullptr), InvalidArgument);
+}
+
+TEST(Agent, GetHandlesMixedHitAndMiss) {
+  Agent agent;
+  agent.mib().add_constant(Oid({1, 3, 1}), Value::integer(7));
+  Pdu req;
+  req.type = PduType::kGet;
+  req.request_id = 5;
+  req.bindings = {VarBind{Oid({1, 3, 1}), Value::null()},
+                  VarBind{Oid({1, 3, 2}), Value::null()}};
+  const Pdu resp = agent.handle(req);
+  EXPECT_EQ(resp.type, PduType::kResponse);
+  EXPECT_EQ(resp.request_id, 5);
+  EXPECT_EQ(resp.bindings[0].value.as_integer(), 7);
+  EXPECT_EQ(resp.bindings[1].value.type(), ValueType::kNoSuchObject);
+}
+
+TEST(Agent, GetNextWalksAndEnds) {
+  Agent agent;
+  agent.mib().add_constant(Oid({1, 3, 1}), Value::integer(1));
+  Pdu req;
+  req.type = PduType::kGetNext;
+  req.bindings = {VarBind{Oid({1, 3}), Value::null()}};
+  Pdu resp = agent.handle(req);
+  EXPECT_EQ(resp.bindings[0].oid, Oid({1, 3, 1}));
+  req.bindings = {VarBind{Oid({1, 3, 1}), Value::null()}};
+  resp = agent.handle(req);
+  EXPECT_EQ(resp.bindings[0].value.type(), ValueType::kEndOfMibView);
+}
+
+TEST(Agent, SetIsRefused) {
+  Agent agent;
+  Pdu req;
+  req.type = PduType::kSet;
+  req.bindings = {VarBind{Oid({1, 3, 1}), Value::integer(9)}};
+  const Pdu resp = agent.handle(req);
+  EXPECT_EQ(resp.error_status, ErrorStatus::kNotWritable);
+  EXPECT_EQ(resp.error_index, 1);
+}
+
+TEST(Agent, WrongCommunityRejected) {
+  Agent agent("secret");
+  Pdu req;
+  req.type = PduType::kGet;
+  req.community = "public";
+  const Pdu resp = agent.handle(req);
+  EXPECT_EQ(resp.error_status, ErrorStatus::kGenErr);
+}
+
+class AgentOnTestbed : public ::testing::Test {
+ protected:
+  AgentOnTestbed() : sim_(netsim::make_cmu_testbed()) {
+    const auto node = sim_.topology().id_of("timberline");
+    populate_node_mib(agent_, sim_, node, nullptr);
+    agent_.bind(transport_, agent_address("timberline"));
+  }
+
+  netsim::Simulator sim_;
+  Agent agent_;
+  Transport transport_;
+};
+
+TEST_F(AgentOnTestbed, SystemGroupDescribesNode) {
+  Client client(transport_, agent_address("timberline"));
+  EXPECT_EQ(client.get(oids::kSysName).as_octets(), "timberline");
+  EXPECT_EQ(client.get(oids::kSysDescr).as_octets(), "remos-sim router");
+}
+
+TEST_F(AgentOnTestbed, SysUpTimeTracksSimClock) {
+  Client client(transport_, agent_address("timberline"));
+  EXPECT_EQ(client.get(oids::kSysUpTime).as_time_ticks(), 0u);
+  sim_.run_until(12.5);
+  EXPECT_EQ(client.get(oids::kSysUpTime).as_time_ticks(), 1250u);
+}
+
+TEST_F(AgentOnTestbed, IfTableListsAllInterfaces) {
+  Client client(transport_, agent_address("timberline"));
+  // timberline: m-4, m-5, m-6 + aspen + whiteface = 5 interfaces.
+  EXPECT_EQ(client.get(oids::kIfNumber).as_integer(), 5);
+  const auto speeds =
+      client.walk(oids::kIfTableEntry.child(oids::kIfSpeedCol));
+  ASSERT_EQ(speeds.size(), 5u);
+  for (const VarBind& vb : speeds)
+    EXPECT_EQ(vb.value.as_gauge32(), 100000000u);
+}
+
+TEST_F(AgentOnTestbed, OctetCountersTrackTraffic) {
+  Client client(transport_, agent_address("timberline"));
+  // Find m-6's ifIndex via the neighbor table.
+  const auto names =
+      client.walk(oids::kRemosNeighborEntry.child(oids::kNbrNameCol));
+  std::uint32_t if_m6 = 0;
+  for (const VarBind& vb : names)
+    if (vb.value.as_octets() == "m-6") if_m6 = vb.oid[vb.oid.size() - 1];
+  ASSERT_NE(if_m6, 0u);
+
+  const auto in_oid =
+      oids::kIfTableEntry.descend({oids::kIfInOctetsCol, if_m6});
+  EXPECT_EQ(client.get(in_oid).as_counter32(), 0u);
+  // 8 Mbps for 10 s from m-6: 10 MB enters timberline on that interface.
+  netsim::FlowOptions opts;
+  opts.demand_cap = mbps(8);
+  sim_.start_flow("m-6", "m-8", opts);
+  sim_.run_until(10.0);
+  EXPECT_EQ(client.get(in_oid).as_counter32(), 10000000u);
+}
+
+TEST_F(AgentOnTestbed, CounterWrapsAt32Bits) {
+  Client client(transport_, agent_address("timberline"));
+  const auto names =
+      client.walk(oids::kRemosNeighborEntry.child(oids::kNbrNameCol));
+  std::uint32_t if_m6 = 0;
+  for (const VarBind& vb : names)
+    if (vb.value.as_octets() == "m-6") if_m6 = vb.oid[vb.oid.size() - 1];
+  const auto in_oid =
+      oids::kIfTableEntry.descend({oids::kIfInOctetsCol, if_m6});
+  // 100 Mbps = 12.5 MB/s; 2^32 bytes wrap after ~343.6 s.
+  sim_.start_flow("m-6", "m-8");
+  sim_.run_until(400.0);
+  const double total = 12.5e6 * 400.0;  // 5e9 > 2^32
+  const auto expect =
+      static_cast<std::uint32_t>(std::fmod(total, 4294967296.0));
+  EXPECT_NEAR(client.get(in_oid).as_counter32(), expect, 2.0);
+}
+
+TEST_F(AgentOnTestbed, NeighborTableCoversAdjacency) {
+  Client client(transport_, agent_address("timberline"));
+  const auto names =
+      client.walk(oids::kRemosNeighborEntry.child(oids::kNbrNameCol));
+  std::vector<std::string> neighbors;
+  for (const VarBind& vb : names) neighbors.push_back(vb.value.as_octets());
+  std::sort(neighbors.begin(), neighbors.end());
+  EXPECT_EQ(neighbors, (std::vector<std::string>{"aspen", "m-4", "m-5",
+                                                 "m-6", "whiteface"}));
+}
+
+TEST(HostAgent, ExposesCpuAndMemory) {
+  netsim::Simulator sim(netsim::make_cmu_testbed());
+  const netsim::NodeId m1 = sim.topology().id_of("m-1");
+  sim.set_cpu_load(m1, 0.42);
+  Agent agent;
+  HostStats stats;
+  stats.memory_mb = 256;
+  populate_node_mib(agent, sim, m1, &stats);
+  Transport transport;
+  agent.bind(transport, agent_address("m-1"));
+  Client client(transport, agent_address("m-1"));
+  EXPECT_EQ(client.get(oids::kSysDescr).as_octets(), "remos-sim host");
+  EXPECT_EQ(client.get(oids::kHrProcessorLoad).as_integer(), 42);
+  EXPECT_EQ(client.get(oids::kHrMemorySize).as_gauge32(), 256u);
+  sim.set_cpu_load(m1, 0.9);  // live binding sees updates
+  EXPECT_EQ(client.get(oids::kHrProcessorLoad).as_integer(), 90);
+  EXPECT_THROW(sim.set_cpu_load(m1, 1.0), InvalidArgument);
+  EXPECT_THROW(sim.set_cpu_load(sim.topology().id_of("aspen"), 0.5),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace remos::snmp

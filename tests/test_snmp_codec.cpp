@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "snmp/codec.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace remos::snmp {
+namespace {
+
+Pdu sample_pdu() {
+  Pdu p;
+  p.type = PduType::kGet;
+  p.community = "public";
+  p.request_id = 42;
+  p.bindings.push_back(
+      VarBind{Oid({1, 3, 6, 1, 2, 1, 1, 5, 0}), Value::null()});
+  return p;
+}
+
+TEST(Codec, RoundTripGet) {
+  const Pdu p = sample_pdu();
+  EXPECT_EQ(decode(encode(p)), p);
+}
+
+TEST(Codec, RoundTripAllValueTypes) {
+  Pdu p;
+  p.type = PduType::kResponse;
+  p.community = "remos";
+  p.request_id = -7;  // negative ids survive two's complement
+  p.error_status = ErrorStatus::kNoError;
+  p.bindings = {
+      VarBind{Oid({1, 3, 1}), Value::integer(-123456789)},
+      VarBind{Oid({1, 3, 2}), Value::integer(0)},
+      VarBind{Oid({1, 3, 3}), Value::counter32(4294967295u)},
+      VarBind{Oid({1, 3, 4}), Value::gauge32(100000000u)},
+      VarBind{Oid({1, 3, 5}), Value::time_ticks(360000u)},
+      VarBind{Oid({1, 3, 6}), Value::octets("hello world")},
+      VarBind{Oid({1, 3, 7}), Value::octets("")},
+      VarBind{Oid({1, 3, 8}), Value::object_id(Oid({1, 3, 6, 1, 4, 1}))},
+      VarBind{Oid({1, 3, 9}), Value::null()},
+      VarBind{Oid({1, 3, 10}), Value::no_such_object()},
+      VarBind{Oid({1, 3, 11}), Value::end_of_mib_view()},
+  };
+  EXPECT_EQ(decode(encode(p)), p);
+}
+
+TEST(Codec, RoundTripLargeOidArcs) {
+  // Multi-byte base-128 arcs (enterprise number 57005 > 16383).
+  Pdu p = sample_pdu();
+  p.bindings[0].oid = Oid({1, 3, 6, 1, 4, 1, 57005, 1, 1, 2, 4294967295u});
+  EXPECT_EQ(decode(encode(p)), p);
+}
+
+TEST(Codec, RoundTripErrorFields) {
+  Pdu p = sample_pdu();
+  p.type = PduType::kResponse;
+  p.error_status = ErrorStatus::kNotWritable;
+  p.error_index = 1;
+  EXPECT_EQ(decode(encode(p)), p);
+}
+
+TEST(Codec, RoundTripLongMessage) {
+  // > 127-byte content exercises long-form lengths.
+  Pdu p = sample_pdu();
+  p.type = PduType::kResponse;
+  p.bindings.clear();
+  for (std::uint32_t i = 0; i < 50; ++i)
+    p.bindings.push_back(VarBind{Oid({1, 3, 6, 1, 2, 1, 2, 2, 1, 10, i}),
+                                 Value::counter32(i * 1000)});
+  const auto wire = encode(p);
+  EXPECT_GT(wire.size(), 300u);
+  EXPECT_EQ(decode(wire), p);
+}
+
+TEST(Codec, RejectsTruncation) {
+  auto wire = encode(sample_pdu());
+  for (std::size_t cut = 1; cut < wire.size(); cut += 3) {
+    std::vector<std::uint8_t> partial(wire.begin(),
+                                      wire.end() - static_cast<long>(cut));
+    EXPECT_THROW(decode(partial), ProtocolError) << "cut=" << cut;
+  }
+}
+
+TEST(Codec, RejectsTrailingGarbage) {
+  auto wire = encode(sample_pdu());
+  wire.push_back(0x00);
+  EXPECT_THROW(decode(wire), ProtocolError);
+}
+
+TEST(Codec, RejectsBadOuterTag) {
+  auto wire = encode(sample_pdu());
+  wire[0] = 0x04;  // OCTET STRING instead of SEQUENCE
+  EXPECT_THROW(decode(wire), ProtocolError);
+}
+
+TEST(Codec, RejectsUnknownVersion) {
+  auto wire = encode(sample_pdu());
+  // Outer SEQUENCE header is 2 bytes here; version INTEGER value follows
+  // its own 2-byte header.
+  wire[4] = 9;
+  EXPECT_THROW(decode(wire), ProtocolError);
+}
+
+TEST(Codec, RejectsEmptyInput) {
+  EXPECT_THROW(decode(std::vector<std::uint8_t>{}), ProtocolError);
+}
+
+TEST(Codec, FuzzedBytesNeverCrash) {
+  Rng rng(99);
+  for (int round = 0; round < 500; ++round) {
+    std::vector<std::uint8_t> junk(rng.below(120));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    try {
+      (void)decode(junk);
+    } catch (const ProtocolError&) {
+      // expected for almost all inputs
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Codec, BitflipFuzzNeverCrashes) {
+  const auto wire = encode(sample_pdu());
+  Rng rng(7);
+  for (int round = 0; round < 500; ++round) {
+    auto mutated = wire;
+    const std::size_t at = rng.below(mutated.size());
+    mutated[at] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    try {
+      (void)decode(mutated);
+    } catch (const ProtocolError&) {
+    }
+  }
+  SUCCEED();
+}
+
+// Property: encode/decode round-trips random PDUs.
+class CodecProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecProperty, RandomPduRoundTrips) {
+  Rng rng(GetParam());
+  Pdu p;
+  p.type = static_cast<PduType>(rng.below(4));
+  p.request_id = static_cast<std::int32_t>(rng.next());
+  p.error_status = static_cast<ErrorStatus>(rng.below(6));
+  p.error_index = static_cast<std::int32_t>(rng.below(10));
+  const std::size_t nb = rng.below(12);
+  for (std::size_t i = 0; i < nb; ++i) {
+    std::vector<std::uint32_t> arcs{1, 3};
+    const std::size_t extra = rng.below(10);
+    for (std::size_t k = 0; k < extra; ++k)
+      arcs.push_back(static_cast<std::uint32_t>(rng.next()));
+    Value v;
+    switch (rng.below(6)) {
+      case 0:
+        v = Value::integer(static_cast<std::int64_t>(rng.next()));
+        break;
+      case 1:
+        v = Value::counter32(static_cast<std::uint32_t>(rng.next()));
+        break;
+      case 2:
+        v = Value::gauge32(static_cast<std::uint32_t>(rng.next()));
+        break;
+      case 3: {
+        std::string s(rng.below(40), '\0');
+        for (auto& c : s) c = static_cast<char>(rng.below(256));
+        v = Value::octets(std::move(s));
+        break;
+      }
+      case 4:
+        v = Value::null();
+        break;
+      default:
+        v = Value::time_ticks(static_cast<std::uint32_t>(rng.next()));
+        break;
+    }
+    p.bindings.push_back(VarBind{Oid(std::move(arcs)), std::move(v)});
+  }
+  EXPECT_EQ(decode(encode(p)), p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecProperty,
+                         ::testing::Range<std::uint64_t>(1, 49));
+
+}  // namespace
+}  // namespace remos::snmp

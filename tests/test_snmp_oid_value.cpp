@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "snmp/oid.hpp"
+#include "snmp/value.hpp"
+#include "util/error.hpp"
+
+namespace remos::snmp {
+namespace {
+
+TEST(Oid, ParseAndToStringRoundTrip) {
+  const Oid o = Oid::parse("1.3.6.1.2.1.2.2.1.10.3");
+  EXPECT_EQ(o.size(), 11u);
+  EXPECT_EQ(o[0], 1u);
+  EXPECT_EQ(o[10], 3u);
+  EXPECT_EQ(o.to_string(), "1.3.6.1.2.1.2.2.1.10.3");
+}
+
+TEST(Oid, ParseRejectsMalformed) {
+  EXPECT_THROW(Oid::parse(""), InvalidArgument);
+  EXPECT_THROW(Oid::parse("1..3"), InvalidArgument);
+  EXPECT_THROW(Oid::parse("1.x.3"), InvalidArgument);
+  EXPECT_THROW(Oid::parse("1.3."), InvalidArgument);
+  EXPECT_THROW(Oid::parse("99999999999999999999"), InvalidArgument);
+}
+
+TEST(Oid, LexicographicOrdering) {
+  EXPECT_LT(Oid({1, 3}), Oid({1, 3, 0}));
+  EXPECT_LT(Oid({1, 3, 1}), Oid({1, 3, 2}));
+  EXPECT_LT(Oid({1, 3, 2}), Oid({1, 4}));
+  EXPECT_EQ(Oid({1, 3}), Oid::parse("1.3"));
+}
+
+TEST(Oid, ChildDescendPrefix) {
+  const Oid base({1, 3, 6});
+  EXPECT_EQ(base.child(1), Oid({1, 3, 6, 1}));
+  EXPECT_EQ(base.descend({4, 1}), Oid({1, 3, 6, 4, 1}));
+  EXPECT_TRUE(Oid({1, 3, 6, 1}).starts_with(base));
+  EXPECT_TRUE(base.starts_with(base));
+  EXPECT_FALSE(base.starts_with(Oid({1, 3, 6, 1})));
+  EXPECT_FALSE(Oid({1, 4}).starts_with(Oid({1, 3})));
+}
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_EQ(Value::integer(-5).type(), ValueType::kInteger);
+  EXPECT_EQ(Value::integer(-5).as_integer(), -5);
+  EXPECT_EQ(Value::counter32(7).as_counter32(), 7u);
+  EXPECT_EQ(Value::gauge32(9).as_gauge32(), 9u);
+  EXPECT_EQ(Value::time_ticks(100).as_time_ticks(), 100u);
+  EXPECT_EQ(Value::octets("hi").as_octets(), "hi");
+  EXPECT_EQ(Value::object_id(Oid({1, 3})).as_object_id(), Oid({1, 3}));
+  EXPECT_EQ(Value::null().type(), ValueType::kNull);
+}
+
+TEST(Value, MismatchedAccessorThrows) {
+  EXPECT_THROW(Value::integer(1).as_octets(), ProtocolError);
+  EXPECT_THROW(Value::octets("x").as_integer(), ProtocolError);
+  EXPECT_THROW(Value::counter32(1).as_gauge32(), ProtocolError);
+}
+
+TEST(Value, ExceptionMarkers) {
+  EXPECT_TRUE(Value::no_such_object().is_exception());
+  EXPECT_TRUE(Value::end_of_mib_view().is_exception());
+  EXPECT_FALSE(Value::integer(0).is_exception());
+}
+
+TEST(Value, CounterAndGaugeAreDistinctTypes) {
+  // Counter32(5) and Gauge32(5) must not compare equal.
+  EXPECT_NE(Value::counter32(5), Value::gauge32(5));
+  EXPECT_EQ(Value::counter32(5), Value::counter32(5));
+}
+
+TEST(Value, ToStringForms) {
+  EXPECT_EQ(Value::integer(3).to_string(), "3");
+  EXPECT_EQ(Value::counter32(3).to_string(), "Counter32(3)");
+  EXPECT_EQ(Value::octets("ab").to_string(), "\"ab\"");
+  EXPECT_EQ(Value::no_such_object().to_string(), "noSuchObject");
+}
+
+}  // namespace
+}  // namespace remos::snmp

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "snmp/agent.hpp"
+#include "snmp/client.hpp"
+#include "snmp/codec.hpp"
+#include "snmp/transport.hpp"
+#include "util/error.hpp"
+
+namespace remos::snmp {
+namespace {
+
+Agent make_agent(int entries = 3) {
+  Agent agent;
+  for (int i = 1; i <= entries; ++i)
+    agent.mib().add_constant(Oid({1, 3, static_cast<std::uint32_t>(i)}),
+                             Value::integer(i * 10));
+  return agent;
+}
+
+TEST(Transport, BindAndRequest) {
+  Transport t;
+  t.bind("udp://x:161", [](const std::vector<std::uint8_t>& in) {
+    return std::optional(in);  // echo
+  });
+  EXPECT_TRUE(t.bound("udp://x:161"));
+  const std::vector<std::uint8_t> msg{1, 2, 3};
+  EXPECT_EQ(t.request("udp://x:161", msg), msg);
+  EXPECT_EQ(t.datagrams_sent(), 2u);  // request + response
+  EXPECT_EQ(t.bytes_sent(), 6u);
+}
+
+TEST(Transport, UnknownAddressThrows) {
+  Transport t;
+  EXPECT_THROW(t.request("udp://nowhere:161", {}), NotFoundError);
+}
+
+TEST(Transport, DuplicateBindRejected) {
+  Transport t;
+  auto echo = [](const std::vector<std::uint8_t>& in) {
+    return std::optional(in);
+  };
+  t.bind("a", echo);
+  EXPECT_THROW(t.bind("a", echo), InvalidArgument);
+  t.unbind("a");
+  t.bind("a", echo);  // rebinding after unbind is fine
+}
+
+TEST(Transport, ValidatesConfig) {
+  Transport::Config bad;
+  bad.loss_probability = 1.0;
+  EXPECT_THROW(Transport{bad}, InvalidArgument);
+  bad.loss_probability = 0.5;
+  bad.max_attempts = 0;
+  EXPECT_THROW(Transport{bad}, InvalidArgument);
+}
+
+TEST(Transport, RetriesRecoverFromModerateLoss) {
+  Transport::Config cfg;
+  cfg.loss_probability = 0.3;
+  cfg.max_attempts = 10;
+  cfg.seed = 5;
+  Transport t(cfg);
+  t.bind("a", [](const std::vector<std::uint8_t>& in) {
+    return std::optional(in);
+  });
+  int ok = 0;
+  for (int i = 0; i < 200; ++i)
+    if (t.request("a", {0x55}).has_value()) ++ok;
+  EXPECT_EQ(ok, 200);  // p(fail) = 0.51^10, negligible
+  EXPECT_GT(t.datagrams_lost(), 50u);
+}
+
+TEST(Transport, GivesUpAfterMaxAttempts) {
+  Transport::Config cfg;
+  cfg.loss_probability = 0.95;
+  cfg.max_attempts = 2;
+  cfg.seed = 6;
+  Transport t(cfg);
+  t.bind("a", [](const std::vector<std::uint8_t>& in) {
+    return std::optional(in);
+  });
+  int failures = 0;
+  for (int i = 0; i < 50; ++i)
+    if (!t.request("a", {0x55}).has_value()) ++failures;
+  EXPECT_GT(failures, 40);
+  EXPECT_EQ(t.requests_failed(), static_cast<std::uint64_t>(failures));
+}
+
+TEST(Client, GetReturnsValueAndRaisesOnMissing) {
+  Transport t;
+  Agent agent = make_agent();
+  agent.bind(t, "udp://agent:161");
+  Client client(t, "udp://agent:161");
+  EXPECT_EQ(client.get(Oid({1, 3, 2})).as_integer(), 20);
+  EXPECT_THROW(client.get(Oid({1, 3, 99})), NotFoundError);
+}
+
+TEST(Client, GetManyPreservesOrder) {
+  Transport t;
+  Agent agent = make_agent();
+  agent.bind(t, "udp://agent:161");
+  Client client(t, "udp://agent:161");
+  const auto result =
+      client.get_many({Oid({1, 3, 3}), Oid({1, 3, 1}), Oid({1, 3, 2})});
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].value.as_integer(), 30);
+  EXPECT_EQ(result[1].value.as_integer(), 10);
+  EXPECT_EQ(result[2].value.as_integer(), 20);
+}
+
+TEST(Client, WalkVisitsSubtreeInOrder) {
+  Transport t;
+  Agent agent;
+  agent.mib().add_constant(Oid({1, 3, 1, 1}), Value::integer(1));
+  agent.mib().add_constant(Oid({1, 3, 1, 2}), Value::integer(2));
+  agent.mib().add_constant(Oid({1, 3, 2, 1}), Value::integer(3));
+  agent.bind(t, "a");
+  Client client(t, "a");
+  const auto under = client.walk(Oid({1, 3, 1}));
+  ASSERT_EQ(under.size(), 2u);
+  EXPECT_EQ(under[0].oid, Oid({1, 3, 1, 1}));
+  EXPECT_EQ(under[1].oid, Oid({1, 3, 1, 2}));
+  const auto all = client.walk(Oid({1, 3}));
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_TRUE(client.walk(Oid({1, 4})).empty());
+}
+
+TEST(Client, CommunityMismatchSurfacesAsProtocolError) {
+  Transport t;
+  Agent agent("secret");
+  agent.bind(t, "a");
+  Client wrong(t, "a", "public");
+  EXPECT_THROW(wrong.get(Oid({1, 3, 1})), ProtocolError);
+  Agent agent2 = make_agent();
+  agent2.bind(t, "b");
+  Client right(t, "b", "public");
+  EXPECT_EQ(right.get(Oid({1, 3, 1})).as_integer(), 10);
+}
+
+TEST(Client, TimeoutAfterTotalLoss) {
+  Transport::Config cfg;
+  cfg.loss_probability = 0.99;
+  cfg.max_attempts = 2;
+  cfg.seed = 1;
+  Transport t(cfg);
+  Agent agent = make_agent();
+  agent.bind(t, "a");
+  Client client(t, "a");
+  // With 99% loss nearly every exchange fails.
+  int timeouts = 0;
+  for (int i = 0; i < 20; ++i) {
+    try {
+      (void)client.get(Oid({1, 3, 1}));
+    } catch (const TimeoutError&) {
+      ++timeouts;
+    }
+  }
+  EXPECT_GT(timeouts, 15);
+}
+
+TEST(Client, MalformedDatagramsAreDroppedNotFatal) {
+  // An endpoint speaking garbage looks like loss to the client.
+  Transport t;
+  t.bind("junk", [](const std::vector<std::uint8_t>&)
+             -> std::optional<std::vector<std::uint8_t>> {
+    return std::vector<std::uint8_t>{0xFF, 0x00};
+  });
+  Client client(t, "junk");
+  EXPECT_THROW(client.get(Oid({1, 3, 1})), ProtocolError);
+}
+
+}  // namespace
+}  // namespace remos::snmp

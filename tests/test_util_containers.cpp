@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace remos {
+namespace {
+
+TEST(RingBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), InvalidArgument);
+}
+
+TEST(RingBuffer, FillsThenEvictsFifo) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.front(), 1);
+  EXPECT_EQ(rb.back(), 3);
+  rb.push(4);  // evicts 1
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.front(), 2);
+  EXPECT_EQ(rb.back(), 4);
+  EXPECT_EQ(rb.to_vector(), (std::vector<int>{2, 3, 4}));
+}
+
+TEST(RingBuffer, IndexingIsOldestFirst) {
+  RingBuffer<int> rb(4);
+  for (int i = 0; i < 10; ++i) rb.push(i);
+  EXPECT_EQ(rb[0], 6);
+  EXPECT_EQ(rb[3], 9);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(7);
+  EXPECT_EQ(rb.front(), 7);
+  EXPECT_EQ(rb.back(), 7);
+}
+
+TEST(Strings, JoinAndSplitRoundTrip) {
+  const std::vector<std::string> v{"m-1", "m-2", "m-3"};
+  EXPECT_EQ(join(v, ","), "m-1,m-2,m-3");
+  EXPECT_EQ(split("m-1,m-2,m-3", ','), v);
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(split("", ','), std::vector<std::string>{""});
+}
+
+TEST(Strings, FixedFormatsDecimals) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+  EXPECT_EQ(fixed(-0.456, 1), "-0.5");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcdef", 4), "abcdef");
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(mbps(100), 1e8);
+  EXPECT_DOUBLE_EQ(to_mbps(mbps(42)), 42.0);
+  EXPECT_DOUBLE_EQ(kbps(5), 5000.0);
+  EXPECT_DOUBLE_EQ(millis(3), 0.003);
+  // 1 MB at 8 Mbps takes 1 second.
+  EXPECT_DOUBLE_EQ(transfer_time(1e6, mbps(8)), 1.0);
+}
+
+}  // namespace
+}  // namespace remos

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace remos {
+namespace {
+
+TEST(Quantile, SingleSample) {
+  EXPECT_DOUBLE_EQ(quantile({42.0}, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(quantile({42.0}, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(quantile({42.0}, 1.0), 42.0);
+}
+
+TEST(Quantile, LinearInterpolation) {
+  // R-7 on {1,2,3,4}: q25 = 1.75, q50 = 2.5, q75 = 3.25.
+  const std::vector<double> v{4, 1, 3, 2};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.75), 3.25);
+}
+
+TEST(Quantile, RejectsEmptyAndBadQ) {
+  EXPECT_THROW(quantile({}, 0.5), InvalidArgument);
+  EXPECT_THROW(quantile({1.0}, -0.1), InvalidArgument);
+  EXPECT_THROW(quantile({1.0}, 1.1), InvalidArgument);
+}
+
+TEST(Quartiles, FiveNumberSummary) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(i);
+  const QuartileSummary q = quartiles_of(v);
+  EXPECT_DOUBLE_EQ(q.min, 1);
+  EXPECT_DOUBLE_EQ(q.q1, 26);
+  EXPECT_DOUBLE_EQ(q.median, 51);
+  EXPECT_DOUBLE_EQ(q.q3, 76);
+  EXPECT_DOUBLE_EQ(q.max, 101);
+  EXPECT_DOUBLE_EQ(q.iqr(), 50);
+  EXPECT_DOUBLE_EQ(q.spread(), 100);
+}
+
+TEST(Quartiles, ScaledFlipsOnNegativeFactor) {
+  const QuartileSummary q{1, 2, 3, 4, 5};
+  const QuartileSummary s = q.scaled(-1.0);
+  EXPECT_DOUBLE_EQ(s.min, -5);
+  EXPECT_DOUBLE_EQ(s.q1, -4);
+  EXPECT_DOUBLE_EQ(s.median, -3);
+  EXPECT_DOUBLE_EQ(s.q3, -2);
+  EXPECT_DOUBLE_EQ(s.max, -1);
+}
+
+TEST(Measurement, ExactHasFullAccuracy) {
+  const Measurement m = Measurement::exact(10.0);
+  EXPECT_DOUBLE_EQ(m.mean, 10.0);
+  EXPECT_DOUBLE_EQ(m.quartiles.median, 10.0);
+  EXPECT_DOUBLE_EQ(m.quartiles.iqr(), 0.0);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_TRUE(m.known());
+}
+
+TEST(Measurement, EmptyIsUnknown) {
+  const Measurement m = Measurement::from_samples({});
+  EXPECT_FALSE(m.known());
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.0);
+}
+
+TEST(Measurement, AccuracyGrowsWithSamples) {
+  const Measurement one = Measurement::from_samples({5.0});
+  std::vector<double> many(32, 5.0);
+  const Measurement lots = Measurement::from_samples(many);
+  EXPECT_LT(one.accuracy, lots.accuracy);
+  EXPECT_DOUBLE_EQ(lots.accuracy, 1.0);  // 32 identical samples: certain
+}
+
+TEST(Measurement, AccuracyFallsWithDispersion) {
+  std::vector<double> tight, wide;
+  for (int i = 0; i < 32; ++i) {
+    tight.push_back(100.0 + (i % 2));
+    wide.push_back((i % 2) ? 10.0 : 190.0);  // bimodal, same mean
+  }
+  const Measurement t = Measurement::from_samples(tight);
+  const Measurement w = Measurement::from_samples(wide);
+  EXPECT_NEAR(t.mean, w.mean, 1.0);
+  EXPECT_GT(t.accuracy, w.accuracy);
+}
+
+TEST(Measurement, BimodalQuartilesExposeTheModes) {
+  // The paper's §4.4 motivation: bursty traffic gives bimodal availability
+  // that a mean hides but quartiles reveal.
+  std::vector<double> bimodal;
+  for (int i = 0; i < 50; ++i) bimodal.push_back(10.0);
+  for (int i = 0; i < 50; ++i) bimodal.push_back(90.0);
+  const Measurement m = Measurement::from_samples(bimodal);
+  EXPECT_NEAR(m.mean, 50.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.quartiles.q1, 10.0);
+  EXPECT_DOUBLE_EQ(m.quartiles.q3, 90.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, VarianceZeroBelowTwoSamples) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+// Property: quartiles of any sample set are ordered and bracket the data.
+class QuartileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuartileProperty, OrderedAndBracketing) {
+  Rng rng(GetParam());
+  std::vector<double> v;
+  const std::size_t n = 1 + rng.below(200);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng.uniform(-1e3, 1e3));
+  const QuartileSummary q = quartiles_of(v);
+  EXPECT_LE(q.min, q.q1);
+  EXPECT_LE(q.q1, q.median);
+  EXPECT_LE(q.median, q.q3);
+  EXPECT_LE(q.q3, q.max);
+  for (double x : v) {
+    EXPECT_GE(x, q.min);
+    EXPECT_LE(x, q.max);
+  }
+  const Measurement m = Measurement::from_samples(v);
+  EXPECT_GE(m.accuracy, 0.0);
+  EXPECT_LE(m.accuracy, 1.0);
+  EXPECT_GE(m.mean, q.min);
+  EXPECT_LE(m.mean, q.max);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuartileProperty,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace remos
