@@ -18,8 +18,14 @@ snmp::Transport::Config transport_config(const CmuHarness::Options& o) {
 CmuHarness::CmuHarness(Options options)
     : sim_(netsim::make_cmu_testbed(options.link_rate)),
       transport_(transport_config(options)),
-      collector_(transport_, netsim::CmuNames::routers()),
+      injector_(options.seed ^ 0xFA017),
+      collector_(transport_, netsim::CmuNames::routers(),
+                 options.collector),
       modeler_(collector_) {
+  // Management time is simulator time; fault windows, breaker cooldowns
+  // and staleness ages all share one clock.
+  transport_.set_clock([this] { return sim_.now(); });
+  transport_.set_fault_injector(&injector_);
   // One agent per node; hosts optionally carry the host-resources group.
   for (const netsim::Node& node : sim_.topology().nodes()) {
     const bool is_host = node.kind == netsim::NodeKind::kCompute;

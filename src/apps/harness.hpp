@@ -18,6 +18,7 @@
 #include "netsim/simulator.hpp"
 #include "netsim/testbeds.hpp"
 #include "snmp/agent.hpp"
+#include "snmp/fault_injector.hpp"
 #include "snmp/mib2.hpp"
 #include "snmp/transport.hpp"
 
@@ -35,6 +36,9 @@ class CmuHarness {
     bool host_agents = true;
     BitsPerSec link_rate = mbps(100);
     std::uint64_t seed = 0x51D;
+    /// Collector policy (retry budgets, circuit breaker, plausibility
+    /// margins) -- chaos experiments tighten these.
+    collector::SnmpCollector::Options collector;
   };
 
   explicit CmuHarness(Options options);
@@ -42,6 +46,9 @@ class CmuHarness {
 
   netsim::Simulator& sim() { return sim_; }
   snmp::Transport& transport() { return transport_; }
+  /// The attached fault injector (idle until faults are scripted).  Its
+  /// windows run on the simulator clock, which the transport is wired to.
+  snmp::FaultInjector& fault_injector() { return injector_; }
   collector::SnmpCollector& collector() { return collector_; }
   const core::Modeler& modeler() const { return modeler_; }
   core::Modeler& modeler() { return modeler_; }
@@ -59,6 +66,7 @@ class CmuHarness {
  private:
   netsim::Simulator sim_;
   snmp::Transport transport_;
+  snmp::FaultInjector injector_;
   std::vector<std::unique_ptr<snmp::Agent>> agents_;
   std::vector<std::unique_ptr<snmp::HostStats>> stats_;
   std::vector<std::string> stat_names_;

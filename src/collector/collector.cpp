@@ -1,10 +1,22 @@
 #include "collector/collector.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "util/error.hpp"
 
 namespace remos::collector {
 
 Collector::~Collector() = default;
+
+Seconds Collector::freshest_sample() const {
+  Seconds newest = -std::numeric_limits<Seconds>::infinity();
+  for (const ModelLink& l : model_.links()) {
+    newest = std::max(newest, l.last_update);
+    if (!l.history.empty()) newest = std::max(newest, l.history.latest().at);
+  }
+  return newest;
+}
 
 void Collector::start_polling(netsim::Simulator& sim, Seconds period) {
   if (period <= 0) throw InvalidArgument("start_polling: period <= 0");

@@ -27,6 +27,15 @@ class Collector {
   /// Takes one round of dynamic measurements.
   virtual void poll() = 0;
 
+  /// False when the collector knows it is substantially degraded (e.g.
+  /// some of its agents are unreachable).  CollectorSet::merged() lets
+  /// healthy collectors' views dominate degraded ones'.
+  virtual bool healthy() const { return true; }
+
+  /// Timestamp of the newest link confirmation this collector holds
+  /// (-infinity when it has none): the freshness key for merging.
+  virtual Seconds freshest_sample() const;
+
   const NetworkModel& model() const { return model_; }
   NetworkModel& model() { return model_; }
 

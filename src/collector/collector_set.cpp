@@ -1,5 +1,7 @@
 #include "collector/collector_set.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace remos::collector {
@@ -16,12 +18,30 @@ void CollectorSet::discover_all() {
 }
 
 void CollectorSet::poll_all() {
-  for (Collector* c : collectors_) c->poll();
+  for (Collector* c : collectors_) {
+    try {
+      c->poll();
+    } catch (const Error&) {
+      // A degraded collector keeps its prior model; the merged view
+      // simply prefers its healthier peers until it recovers.
+      ++poll_errors_;
+    }
+  }
 }
 
 NetworkModel CollectorSet::merged() const {
+  // merge_from lets the later model win scalar state (link up/down, host
+  // load), so merge in ascending preference: unhealthy before healthy,
+  // stale before fresh, registration order breaking ties.
+  std::vector<const Collector*> order(collectors_.begin(),
+                                      collectors_.end());
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Collector* x, const Collector* y) {
+                     if (x->healthy() != y->healthy()) return y->healthy();
+                     return x->freshest_sample() < y->freshest_sample();
+                   });
   NetworkModel out;
-  for (const Collector* c : collectors_) out.merge_from(c->model());
+  for (const Collector* c : order) out.merge_from(c->model());
   return out;
 }
 

@@ -24,14 +24,21 @@ class CollectorSet {
   /// Runs discovery on all collectors.
   void discover_all();
 
-  /// Runs one poll round on all collectors.
+  /// Runs one poll round on all collectors.  A collector that throws is
+  /// skipped (its model keeps prior state); the round always completes.
   void poll_all();
 
-  /// Merged view across all collectors (rebuilt on each call).
+  /// Poll rounds in which some collector threw.
+  std::size_t poll_errors() const { return poll_errors_; }
+
+  /// Merged view across all collectors (rebuilt on each call).  Where
+  /// collectors disagree on scalar state, healthy collectors override
+  /// degraded ones and fresher data overrides staler.
   NetworkModel merged() const;
 
  private:
   std::vector<Collector*> collectors_;
+  std::size_t poll_errors_ = 0;
 };
 
 }  // namespace remos::collector

@@ -45,7 +45,7 @@ ModelLink& NetworkModel::upsert_link(const std::string& a,
   bool flipped = false;
   if (ModelLink* existing = find_link(a, b, &flipped)) return *existing;
   links_.push_back(ModelLink{a, b, capacity, latency, true,
-                             SharingPolicy::kUnknown, LinkHistory{}});
+                             SharingPolicy::kUnknown, -1, LinkHistory{}});
   link_index_[{a, b}] = links_.size() - 1;
   return links_.back();
 }
@@ -118,6 +118,7 @@ void NetworkModel::merge_from(const NetworkModel& other) {
     }
     mine->up = l.up;
     if (l.sharing != SharingPolicy::kUnknown) mine->sharing = l.sharing;
+    mine->last_update = std::max(mine->last_update, l.last_update);
     // Adopt the other collector's samples that are newer than anything we
     // already hold (clock domains are shared: both stamp in sim time).
     const Seconds newest = mine->history.empty()

@@ -76,6 +76,12 @@ struct ModelLink {
   /// How competing flows split this link's capacity (extension; unknown
   /// for links the network did not describe, e.g. probed WAN pairs).
   SharingPolicy sharing = SharingPolicy::kUnknown;
+  /// When a collector last confirmed this link's state (collector clock;
+  /// < 0 = never).  Distinct from history.latest().at: a poll that
+  /// reaches the agent but yields no usable sample (e.g. a counter
+  /// discontinuity) still refreshes this, while a dead agent freezes it.
+  /// Queries widen their accuracy as links go stale.
+  Seconds last_update = -1;
   LinkHistory history;
 };
 

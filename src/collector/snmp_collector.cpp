@@ -20,14 +20,82 @@ std::uint32_t counter_delta(std::uint32_t now, std::uint32_t before) {
 }
 }  // namespace
 
+const char* to_string(AgentHealth h) {
+  switch (h) {
+    case AgentHealth::kHealthy: return "healthy";
+    case AgentHealth::kDegraded: return "degraded";
+    case AgentHealth::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
 SnmpCollector::SnmpCollector(snmp::Transport& transport,
                              std::vector<std::string> seed_routers,
                              Options options)
     : transport_(&transport),
       seeds_(std::move(seed_routers)),
-      options_(std::move(options)) {
+      options_(std::move(options)),
+      breakers_(options_.breaker) {
   if (seeds_.empty())
     throw InvalidArgument("SnmpCollector: no seed routers");
+  if (options_.unreachable_after < 1)
+    throw InvalidArgument("SnmpCollector: unreachable_after < 1");
+  if (options_.delta_margin < 1.0)
+    throw InvalidArgument("SnmpCollector: delta_margin < 1");
+}
+
+snmp::Client SnmpCollector::make_client(const std::string& node) {
+  return snmp::Client(*transport_, snmp::agent_address(node),
+                      options_.community, options_.client, &breakers_);
+}
+
+Seconds SnmpCollector::sample_time(std::uint32_t uptime_ticks) const {
+  if (transport_->has_clock()) return transport_->now();
+  return static_cast<double>(uptime_ticks) / 100.0;
+}
+
+AgentHealth SnmpCollector::health(const std::string& router) const {
+  const auto it = router_state_.find(router);
+  return it == router_state_.end() ? AgentHealth::kHealthy
+                                   : it->second.health;
+}
+
+bool SnmpCollector::healthy() const {
+  if (!pending_routers_.empty()) return false;
+  for (const auto& [router, st] : router_state_)
+    if (st.health == AgentHealth::kUnreachable) return false;
+  return true;
+}
+
+void SnmpCollector::set_health(const std::string& router, AgentHealth to) {
+  RouterState& st = router_state_[router];
+  if (st.health == to) return;
+  health_log_.push_back(
+      HealthTransition{transport_->now(), router, st.health, to});
+  st.health = to;
+}
+
+void SnmpCollector::note_poll_result(const std::string& router,
+                                     std::size_t attempted,
+                                     std::size_t failed) {
+  if (attempted > 0 && failed == attempted) {
+    note_poll_failure(router);
+    return;
+  }
+  RouterState& st = router_state_[router];
+  st.consecutive_failures = 0;  // the agent answered something
+  st.last_success = transport_->now();
+  set_health(router, failed == 0 ? AgentHealth::kHealthy
+                                 : AgentHealth::kDegraded);
+}
+
+void SnmpCollector::note_poll_failure(const std::string& router) {
+  RouterState& st = router_state_[router];
+  ++st.consecutive_failures;
+  set_health(router,
+             st.consecutive_failures >= options_.unreachable_after
+                 ? AgentHealth::kUnreachable
+                 : AgentHealth::kDegraded);
 }
 
 void SnmpCollector::discover() {
@@ -50,9 +118,11 @@ void SnmpCollector::discover() {
         known_routers_.insert(router);
         pending_routers_.erase(router);
         reached = true;
-      } catch (const TimeoutError&) {
       } catch (const NotFoundError&) {
         break;  // no agent at that address: retrying cannot help now
+      } catch (const TimeoutError&) {
+      } catch (const ProtocolError&) {
+        // Garbled tables (corruption in flight): retry like a timeout.
       }
     }
     if (!reached) {
@@ -66,8 +136,7 @@ void SnmpCollector::discover() {
 
 std::vector<std::string> SnmpCollector::ingest_router(
     const std::string& name) {
-  snmp::Client client(*transport_, snmp::agent_address(name),
-                      options_.community);
+  snmp::Client client = make_client(name);
   const std::string sys_name = client.get(snmp::oids::kSysName).as_octets();
   ModelNode& self = model_.upsert_node(sys_name, /*is_router=*/true);
   try {
@@ -117,13 +186,13 @@ std::vector<std::string> SnmpCollector::ingest_router(
       if (raw >= 0 && raw <= 2)
         link.sharing = static_cast<SharingPolicy>(raw);
     }
+    link.last_update = transport_->now();
     if_neighbor_[{sys_name, if_index}] = peer;
     if (peer_is_router) peer_routers.push_back(peer);
 
     if (!peer_is_router && options_.query_hosts &&
         transport_->bound(snmp::agent_address(peer))) {
-      snmp::Client host(*transport_, snmp::agent_address(peer),
-                        options_.community);
+      snmp::Client host = make_client(peer);
       try {
         ModelNode& hn = model_.node(peer);
         hn.cpu_load =
@@ -158,39 +227,48 @@ void SnmpCollector::poll() {
   }
   for (const std::string& router : known_routers_) {
     try {
-      poll_router(router);
-    } catch (const TimeoutError&) {
-      ++unreachable_;  // missed poll: history simply gets no sample
+      const auto [attempted, failed] = poll_router(router);
+      note_poll_result(router, attempted, failed);
+      if (failed > 0) ++unreachable_;
+    } catch (const Error&) {
+      // Missed poll: prior history stays in place, queries widen their
+      // accuracy with staleness instead of failing.
+      ++unreachable_;
+      note_poll_failure(router);
     }
   }
   // Host CPU load is as dynamic as link usage: refresh it every round.
   for (const std::string& host : known_hosts_) {
     try {
       poll_host(host);
-    } catch (const TimeoutError&) {
+    } catch (const Error&) {
       ++unreachable_;
     }
   }
 }
 
 void SnmpCollector::poll_host(const std::string& name) {
-  snmp::Client client(*transport_, snmp::agent_address(name),
-                      options_.community);
+  snmp::Client client = make_client(name);
   ModelNode& hn = model_.node(name);
   hn.cpu_load = static_cast<double>(
                     client.get(snmp::oids::kHrProcessorLoad).as_integer()) /
                 100.0;
 }
 
-void SnmpCollector::poll_router(const std::string& name) {
-  snmp::Client client(*transport_, snmp::agent_address(name),
-                      options_.community);
-  // One multi-object GET per interface batch: uptime + per-if counters.
+std::pair<std::size_t, std::size_t> SnmpCollector::poll_router(
+    const std::string& name) {
+  snmp::Client client = make_client(name);
+  // If this GET fails the whole router is unreachable this round; the
+  // per-interface GETs below fail individually (partial poll).
   const std::uint32_t uptime =
       client.get(snmp::oids::kSysUpTime).as_time_ticks();
+  const Seconds stamp = sample_time(uptime);
 
+  std::size_t attempted = 0;
+  std::size_t failed = 0;
   for (const auto& [key, neighbor] : if_neighbor_) {
     if (key.first != name) continue;
+    ++attempted;
     const std::uint32_t if_index = key.second;
     const auto in_oid =
         kIfTableEntry.descend({snmp::oids::kIfInOctetsCol, if_index});
@@ -198,14 +276,33 @@ void SnmpCollector::poll_router(const std::string& name) {
         kIfTableEntry.descend({snmp::oids::kIfOutOctetsCol, if_index});
     const auto oper_oid =
         kIfTableEntry.descend({snmp::oids::kIfOperStatusCol, if_index});
-    const auto values = client.get_many({in_oid, out_oid, oper_oid});
+    std::vector<snmp::VarBind> values;
+    try {
+      values = client.get_many({in_oid, out_oid, oper_oid});
+    } catch (const TimeoutError&) {
+      ++failed;  // this interface keeps its old counters and history
+      continue;
+    } catch (const ProtocolError&) {
+      ++failed;
+      continue;
+    }
     const std::uint32_t in_now = values[0].value.as_counter32();
     const std::uint32_t out_now = values[1].value.as_counter32();
     const bool oper_up = values[2].value.as_integer() == 1;
-    if (ModelLink* l = model_.find_link(name, neighbor)) l->up = oper_up;
+    bool flipped = false;
+    ModelLink* link = model_.find_link(name, neighbor, &flipped);
+    if (link) {
+      link->up = oper_up;
+      link->last_update = stamp;
+    }
 
     CounterState& prev = counters_[key];
-    if (prev.valid && uptime != prev.uptime_ticks) {
+    if (prev.valid && uptime < prev.uptime_ticks) {
+      // Uptime went backwards: the agent restarted and its counters were
+      // zeroed.  The delta against pre-restart values is meaningless, so
+      // re-arm the baseline and take no sample this round.
+      ++implausible_deltas_;
+    } else if (prev.valid && uptime != prev.uptime_ticks) {
       const double dt =
           static_cast<double>(counter_delta(uptime, prev.uptime_ticks)) /
           100.0;
@@ -216,16 +313,25 @@ void SnmpCollector::poll_router(const std::string& name) {
       // garbage.
       const BitsPerSec in_rate = in_bytes * 8.0 / dt;
       const BitsPerSec out_rate = out_bytes * 8.0 / dt;
-      bool flipped = false;
-      ModelLink* link = model_.find_link(name, neighbor, &flipped);
-      if (link && in_bytes < kCounterModulus && out_bytes < kCounterModulus) {
+      // Plausibility ceiling: an interface cannot carry more than its
+      // speed (margin covers rounding).  Deltas beyond it mean the
+      // counter was reset or rewritten between polls, not real traffic.
+      const BitsPerSec ceiling =
+          link && link->capacity > 0
+              ? link->capacity * options_.delta_margin
+              : kCounterModulus * 8.0;  // unknown speed: wrap guard only
+      if (link && in_bytes < kCounterModulus &&
+          out_bytes < kCounterModulus && in_rate <= ceiling &&
+          out_rate <= ceiling) {
         // Router's out direction = router -> neighbor traffic.
         Sample s;
-        s.at = static_cast<double>(uptime) / 100.0;
+        s.at = stamp;
         const bool router_is_a = !flipped;
         s.used_ab = router_is_a ? out_rate : in_rate;
         s.used_ba = router_is_a ? in_rate : out_rate;
         link->history.record(s);
+      } else {
+        ++implausible_deltas_;
       }
     }
     prev.in_octets = in_now;
@@ -233,6 +339,7 @@ void SnmpCollector::poll_router(const std::string& name) {
     prev.uptime_ticks = uptime;
     prev.valid = true;
   }
+  return {attempted, failed};
 }
 
 }  // namespace remos::collector

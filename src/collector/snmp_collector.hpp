@@ -13,6 +13,17 @@
 // into the model's link histories.  Rates are computed against the agent's
 // own uptime clock, so collector-side scheduling jitter does not corrupt
 // the estimates.
+//
+// Degradation: poll() never throws.  Each router carries a health state
+// machine (healthy -> degraded -> unreachable, recovering on the first
+// clean poll); a poll that loses some interfaces keeps the rest (partial
+// poll), and a poll that fails outright leaves prior history in place --
+// queries then answer from stale data with widened accuracy instead of
+// erroring (paper §4.4).  Counter deltas that imply rates beyond the
+// interface's plausible ceiling (agent reboot, counter reset, replayed
+// values) are discarded and the baseline re-armed.  A shared per-agent
+// circuit breaker caps the datagram cost of a dead router at O(1) per
+// poll cycle.
 #pragma once
 
 #include <cstdint>
@@ -27,12 +38,37 @@
 
 namespace remos::collector {
 
+/// Per-router agent health as seen by the collector.
+enum class AgentHealth { kHealthy, kDegraded, kUnreachable };
+
+const char* to_string(AgentHealth h);
+
+/// One edge of a router's health state machine, for audit and display.
+struct HealthTransition {
+  Seconds at = 0;  // transport clock
+  std::string router;
+  AgentHealth from = AgentHealth::kHealthy;
+  AgentHealth to = AgentHealth::kHealthy;
+};
+
 class SnmpCollector : public Collector {
  public:
   struct Options {
     std::string community = "public";
     /// Also query host agents met during discovery (CPU/memory info).
     bool query_hosts = true;
+    /// Per-exchange retry/timeout policy for every client this collector
+    /// creates.
+    snmp::Client::Config client;
+    /// Circuit-breaker policy shared by all of this collector's clients.
+    snmp::BreakerBoard::Options breaker;
+    /// Consecutive fully-failed polls before a router is declared
+    /// unreachable (one failed poll only degrades it).
+    int unreachable_after = 3;
+    /// Counter deltas implying a rate above capacity * delta_margin are
+    /// discarded as counter glitches (reset, reboot, replay) instead of
+    /// being recorded as absurd utilization samples.
+    double delta_margin = 1.5;
   };
 
   /// `seed_routers` are node names (addresses derive via agent_address).
@@ -44,9 +80,24 @@ class SnmpCollector : public Collector {
 
   void discover() override;
   void poll() override;
+  bool healthy() const override;
 
   /// Number of agents that failed to answer during the last operation.
   std::size_t unreachable_agents() const { return unreachable_; }
+
+  /// Current health of one router (healthy if never polled).
+  AgentHealth health(const std::string& router) const;
+
+  /// Every health transition observed so far, in order.
+  const std::vector<HealthTransition>& health_log() const {
+    return health_log_;
+  }
+
+  /// The shared circuit-breaker state (for audit in tests/examples).
+  const snmp::BreakerBoard& breakers() const { return breakers_; }
+
+  /// Counter samples discarded as implausible since construction.
+  std::uint64_t implausible_deltas() const { return implausible_deltas_; }
 
  private:
   struct CounterState {
@@ -56,15 +107,35 @@ class SnmpCollector : public Collector {
     bool valid = false;
   };
 
+  struct RouterState {
+    AgentHealth health = AgentHealth::kHealthy;
+    int consecutive_failures = 0;
+    Seconds last_success = -1;
+  };
+
+  snmp::Client make_client(const std::string& node);
+  /// Collector-side timestamp for samples taken with agent uptime
+  /// `uptime_ticks`: the transport clock when one is wired (immune to
+  /// agent reboots), else the agent's own uptime.
+  Seconds sample_time(std::uint32_t uptime_ticks) const;
+  void set_health(const std::string& router, AgentHealth to);
+  void note_poll_result(const std::string& router, std::size_t attempted,
+                        std::size_t failed);
+  void note_poll_failure(const std::string& router);
+
   /// Reads one router's tables into the model; returns neighbor routers.
   std::vector<std::string> ingest_router(const std::string& name);
-  void poll_router(const std::string& name);
+  /// Polls one router's interfaces; per-interface failures are tolerated
+  /// (partial poll).  Returns {attempted, failed} interface counts;
+  /// throws only when the router answers nothing at all.
+  std::pair<std::size_t, std::size_t> poll_router(const std::string& name);
 
   void poll_host(const std::string& name);
 
   snmp::Transport* transport_;
   std::vector<std::string> seeds_;
   Options options_;
+  snmp::BreakerBoard breakers_;
   std::set<std::string> known_routers_;
   std::set<std::string> pending_routers_;  // unreachable so far; retried
   std::set<std::string> known_hosts_;      // hosts with responding agents
@@ -72,7 +143,10 @@ class SnmpCollector : public Collector {
   std::map<std::pair<std::string, std::uint32_t>, CounterState> counters_;
   // (router, ifIndex) -> neighbor name (fixed at discovery).
   std::map<std::pair<std::string, std::uint32_t>, std::string> if_neighbor_;
+  std::map<std::string, RouterState> router_state_;
+  std::vector<HealthTransition> health_log_;
   std::size_t unreachable_ = 0;
+  std::uint64_t implausible_deltas_ = 0;
 };
 
 }  // namespace remos::collector

@@ -1,6 +1,7 @@
 #include "core/logical.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <map>
 #include <set>
@@ -146,6 +147,20 @@ NetworkGraph build_logical_graph(const NetworkModel& model,
     w.used_ab = used_for_timeframe(l.history, timeframe, now, true, predictor);
     w.used_ba =
         used_for_timeframe(l.history, timeframe, now, false, predictor);
+    if (options.accuracy_halflife > 0) {
+      // Staleness decay: confidence halves every accuracy_halflife
+      // seconds since a collector last confirmed this link.
+      Seconds fresh = l.last_update;
+      if (!l.history.empty())
+        fresh = std::max(fresh, l.history.latest().at);
+      if (fresh >= 0) {
+        const Seconds age = std::max(0.0, now - fresh);
+        const double factor =
+            std::exp2(-age / options.accuracy_halflife);
+        w.used_ab.accuracy *= factor;
+        w.used_ba.accuracy *= factor;
+      }
+    }
     w.sharing = l.sharing;
     work.push_back(std::move(w));
   }

@@ -32,6 +32,13 @@ struct LogicalOptions {
   /// Keep the entire known network instead of pruning to relevance
   /// (useful for whole-network dashboards).
   bool keep_all = false;
+  /// Staleness half-life: usage-measurement accuracy is multiplied by
+  /// 2^(-age / halflife), where age is how long ago a collector last
+  /// confirmed the link.  Data from an unreachable router thus answers
+  /// queries with honestly widened accuracy instead of an error (paper
+  /// §4.4 "variation in the information is reported to the application").
+  /// 0 disables decay.
+  Seconds accuracy_halflife = 30.0;
 };
 
 /// Builds the annotated logical graph for `nodes` at `now`.

@@ -81,8 +81,20 @@ AdaptationModule::Decision AdaptationModule::evaluate(
   decision.best_cost = best.cost;
   decision.current_cost = cluster::cluster_cost(distances, current, costs);
 
+  // Confidence: the weakest usage measurement consulted.  Staleness decay
+  // (core::LogicalOptions::accuracy_halflife) lowers this as routers go
+  // unreachable.
+  for (const core::GraphLink& l : graph.links()) {
+    if (!l.used_ab.known() && !l.used_ba.known()) continue;
+    const double link_conf =
+        std::max(l.used_ab.known() ? l.used_ab.accuracy : 0.0,
+                 l.used_ba.known() ? l.used_ba.accuracy : 0.0);
+    decision.confidence = std::min(decision.confidence, link_conf);
+  }
+
   // 4. migrate when the relative improvement clears the threshold and the
-  // recommended set actually differs.
+  // recommended set actually differs -- unless the data is too stale to
+  // trust (better to stay put than to chase measurement noise).
   const std::set<std::string> cur_set(current.begin(), current.end());
   const std::set<std::string> new_set(best.nodes.begin(), best.nodes.end());
   const double improvement =
@@ -92,6 +104,10 @@ AdaptationModule::Decision AdaptationModule::evaluate(
                 decision.current_cost;
   decision.migrate =
       new_set != cur_set && improvement > options_.improvement_threshold;
+  if (decision.migrate && decision.confidence < options_.min_accuracy) {
+    decision.migrate = false;
+    decision.held_low_confidence = true;
+  }
   return decision;
 }
 

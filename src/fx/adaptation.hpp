@@ -39,6 +39,12 @@ class AdaptationModule {
     /// Weight of host CPU load in the cluster cost (0 = network only;
     /// §7.2's computation/communication tradeoff).
     double cpu_weight = 0.0;
+    /// Migration hysteresis on data quality: when the least-accurate
+    /// usage measurement backing the decision falls below this, the
+    /// module holds the current mapping rather than migrating on stale
+    /// or missing data (a crashed router must not trigger a move).
+    /// 0 never gates.
+    double min_accuracy = 0.0;
   };
 
   AdaptationModule(const core::Modeler& modeler,
@@ -55,6 +61,11 @@ class AdaptationModule {
     std::vector<std::string> nodes;  // recommended mapping (size k)
     double current_cost = 0;
     double best_cost = 0;
+    /// Least accuracy among the usage measurements consulted (1 when the
+    /// graph held no dynamic data to distrust).
+    double confidence = 1.0;
+    /// True when a migration was suppressed only by the accuracy gate.
+    bool held_low_confidence = false;
   };
 
   /// Evaluates the current mapping against the best cluster of the same

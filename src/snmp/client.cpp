@@ -1,33 +1,166 @@
 #include "snmp/client.hpp"
 
+#include <optional>
+
 #include "snmp/codec.hpp"
 #include "util/error.hpp"
 
 namespace remos::snmp {
 
+namespace {
+
+/// FNV-1a, so each client's jitter stream is a deterministic function of
+/// its agent address (reproducible chaos runs, no shared-RNG coupling).
+std::uint64_t address_seed(const std::string& address) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : address) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+BreakerBoard::BreakerBoard(Options options) : options_(options) {
+  if (options_.failure_threshold < 1)
+    throw InvalidArgument("BreakerBoard: failure_threshold < 1");
+  if (options_.cooldown < 0)
+    throw InvalidArgument("BreakerBoard: negative cooldown");
+}
+
+BreakerBoard::State BreakerBoard::state(const std::string& address) const {
+  const auto it = entries_.find(address);
+  return it == entries_.end() ? State::kClosed : it->second.state;
+}
+
+bool BreakerBoard::admit(const std::string& address, Seconds now,
+                         bool* probe) {
+  *probe = false;
+  Entry& e = entries_[address];
+  switch (e.state) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - e.opened_at < options_.cooldown) {
+        ++fast_failures_;
+        return false;
+      }
+      e.state = State::kHalfOpen;
+      *probe = true;
+      return true;
+    case State::kHalfOpen:
+      // An unresolved probe (caller aborted mid-exchange); allow another.
+      *probe = true;
+      return true;
+  }
+  return true;
+}
+
+void BreakerBoard::on_success(const std::string& address) {
+  Entry& e = entries_[address];
+  e.state = State::kClosed;
+  e.consecutive_failures = 0;
+}
+
+void BreakerBoard::on_failure(const std::string& address, Seconds now) {
+  Entry& e = entries_[address];
+  ++e.consecutive_failures;
+  if (e.state == State::kHalfOpen ||
+      e.consecutive_failures >= options_.failure_threshold) {
+    e.state = State::kOpen;
+    e.opened_at = now;
+  }
+}
+
+std::size_t BreakerBoard::open_count() const {
+  std::size_t n = 0;
+  for (const auto& [address, e] : entries_)
+    if (e.state == State::kOpen) ++n;
+  return n;
+}
+
 Client::Client(Transport& transport, std::string agent_address,
-               std::string community)
+               std::string community, Config config, BreakerBoard* breakers)
     : transport_(&transport),
       address_(std::move(agent_address)),
-      community_(std::move(community)) {}
+      community_(std::move(community)),
+      config_(config),
+      breakers_(breakers),
+      jitter_rng_(address_seed(address_)) {
+  if (config_.max_attempts < 1)
+    throw InvalidArgument("Client: max_attempts < 1");
+  if (config_.timeout_budget <= 0)
+    throw InvalidArgument("Client: timeout_budget <= 0");
+}
 
 Pdu Client::exchange(Pdu request) {
   request.community = community_;
   request.request_id = next_request_id_++;
-  const auto wire = transport_->request(address_, encode(request));
-  if (!wire)
-    throw TimeoutError("SNMP: no response from " + address_);
-  Pdu response = decode(*wire);
-  if (response.type != PduType::kResponse)
-    throw ProtocolError("SNMP: non-response PDU from " + address_);
-  if (response.request_id != request.request_id)
-    throw ProtocolError("SNMP: request-id mismatch from " + address_);
-  if (response.error_status != ErrorStatus::kNoError)
-    throw ProtocolError("SNMP: agent error status " +
-                        std::to_string(static_cast<int>(
-                            response.error_status)) +
-                        " from " + address_);
-  return response;
+
+  bool probe = false;
+  if (breakers_ && !breakers_->admit(address_, transport_->now(), &probe))
+    throw CircuitOpenError("SNMP: circuit open for " + address_);
+
+  const auto wire = encode(request);
+  const int attempts = probe ? 1 : config_.max_attempts;
+  Seconds spent = 0;
+  Seconds backoff = config_.base_backoff;
+  std::optional<ProtocolError> garbled;  // most recent undecodable answer
+
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff with jitter, charged against the budget.
+      const Seconds wait =
+          backoff * (1.0 + config_.jitter * jitter_rng_.uniform());
+      if (spent + wait >= config_.timeout_budget) break;
+      spent += wait;
+      backoff *= config_.backoff_factor;
+    }
+    Transport::Attempt result;
+    try {
+      result = transport_->attempt(address_, wire);
+    } catch (const NotFoundError&) {
+      // Nothing bound there (agent process gone): resolves the exchange.
+      if (breakers_) breakers_->on_failure(address_, transport_->now());
+      throw;
+    }
+    spent += result.latency;
+    if (!result.response) {
+      if (spent >= config_.timeout_budget) break;
+      continue;
+    }
+    Pdu response;
+    try {
+      response = decode(*result.response);
+    } catch (const ProtocolError& e) {
+      garbled = e;  // corrupt datagram: as good as lost, retry
+      continue;
+    }
+    if (response.type != PduType::kResponse) {
+      garbled = ProtocolError("SNMP: non-response PDU from " + address_);
+      continue;
+    }
+    if (response.request_id != request.request_id) {
+      garbled =
+          ProtocolError("SNMP: request-id mismatch from " + address_);
+      continue;
+    }
+    // A decoded, matching response is a definitive answer: the agent is
+    // alive even when it reports an error status.
+    if (breakers_) breakers_->on_success(address_);
+    if (response.error_status != ErrorStatus::kNoError)
+      throw ProtocolError("SNMP: agent error status " +
+                          std::to_string(static_cast<int>(
+                              response.error_status)) +
+                          " from " + address_);
+    return response;
+  }
+
+  if (breakers_) breakers_->on_failure(address_, transport_->now());
+  if (garbled) throw *garbled;
+  throw TimeoutError("SNMP: no response from " + address_ + " within " +
+                     std::to_string(config_.timeout_budget) + "s budget");
 }
 
 Value Client::get(const Oid& oid) {
@@ -67,7 +200,12 @@ VarBind Client::get_next(const Oid& oid) {
 std::vector<VarBind> Client::walk(const Oid& prefix) {
   std::vector<VarBind> out;
   Oid cursor = prefix;
-  while (true) {
+  for (std::size_t steps = 0;; ++steps) {
+    if (steps >= config_.max_walk_steps)
+      throw ProtocolError("SNMP: walk exceeded " +
+                          std::to_string(config_.max_walk_steps) +
+                          " steps under " + prefix.to_string() +
+                          " (looping agent?)");
     VarBind vb = get_next(cursor);
     if (vb.value.type() == ValueType::kEndOfMibView) break;
     if (!vb.oid.starts_with(prefix)) break;  // left the subtree

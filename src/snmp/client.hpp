@@ -3,25 +3,105 @@
 // This is the collector's only channel to the network -- it never touches
 // simulator state directly, mirroring the paper's architecture where the
 // Collector speaks SNMP to routers it does not control.
+//
+// Failure policy: each exchange retries under a simulated-time budget
+// with exponential backoff plus deterministic jitter; garbled responses
+// (undecodable datagrams, stale request-ids) count as loss and are
+// retried, while definitive agent answers (error-status, noSuchObject)
+// are surfaced immediately.  An optional per-agent circuit breaker
+// (BreakerBoard, shared across the short-lived Client instances a
+// collector creates) fast-fails exchanges to an agent that keeps timing
+// out, so a dead router costs O(1) datagrams per poll cycle instead of a
+// retry storm, and probes it again after a cooldown (closed -> open ->
+// half-open).
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "snmp/pdu.hpp"
 #include "snmp/transport.hpp"
+#include "util/rng.hpp"
 
 namespace remos::snmp {
 
+/// Per-agent circuit breakers, keyed by transport address.  One board is
+/// shared by every Client a collector creates, so breaker state survives
+/// the clients themselves.  Single-threaded, like the rest of the stack.
+class BreakerBoard {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    /// Consecutive exchange failures that open the breaker.
+    int failure_threshold = 3;
+    /// Time (transport clock) an open breaker waits before allowing one
+    /// half-open probe exchange.
+    Seconds cooldown = 5.0;
+  };
+
+  BreakerBoard() = default;
+  explicit BreakerBoard(Options options);
+
+  /// kClosed for addresses never seen.
+  State state(const std::string& address) const;
+
+  /// May this exchange proceed?  Sets *probe when it is a half-open
+  /// probe (callers should spend at most one attempt on probes).
+  bool admit(const std::string& address, Seconds now, bool* probe);
+
+  void on_success(const std::string& address);
+  void on_failure(const std::string& address, Seconds now);
+
+  /// Exchanges rejected without touching the wire.
+  std::uint64_t fast_failures() const { return fast_failures_; }
+  /// Addresses whose breaker is currently open.
+  std::size_t open_count() const;
+
+ private:
+  struct Entry {
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    Seconds opened_at = 0;
+  };
+
+  Options options_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t fast_failures_ = 0;
+};
+
 class Client {
  public:
+  struct Config {
+    /// Attempts per exchange (1 try + retries); half-open probes use 1.
+    int max_attempts = 4;
+    /// Simulated-time budget per exchange: attempts stop once their
+    /// cumulative latency (RTTs + backoff waits) would exceed it.
+    Seconds timeout_budget = 0.5;
+    /// First retry backoff; doubles (backoff_factor) per retry.
+    Seconds base_backoff = 0.01;
+    double backoff_factor = 2.0;
+    /// Uniform jitter fraction added to each backoff wait.
+    double jitter = 0.25;
+    /// GETNEXT steps walk() tolerates before declaring the agent's MIB
+    /// faulty (a looping agent must not hang the collector).
+    std::size_t max_walk_steps = 4096;
+  };
+
   Client(Transport& transport, std::string agent_address,
-         std::string community = "public");
+         std::string community, Config config,
+         BreakerBoard* breakers = nullptr);
+  Client(Transport& transport, std::string agent_address,
+         std::string community = "public")
+      : Client(transport, std::move(agent_address), std::move(community),
+               Config{}, nullptr) {}
 
   /// GET of a single object; throws TimeoutError if the agent never
-  /// answers, ProtocolError on a broken response, NotFoundError if the
-  /// agent reports noSuchObject.
+  /// answers (CircuitOpenError when fast-failed by the breaker),
+  /// ProtocolError on a broken response, NotFoundError if the agent
+  /// reports noSuchObject.
   Value get(const Oid& oid);
 
   /// GET of several objects in one PDU (one round-trip).
@@ -30,7 +110,9 @@ class Client {
   /// Raw GETNEXT step.
   VarBind get_next(const Oid& oid);
 
-  /// Walks the subtree under `prefix` via repeated GETNEXT.
+  /// Walks the subtree under `prefix` via repeated GETNEXT.  Throws
+  /// ProtocolError if the agent fails to advance or the walk exceeds
+  /// Config::max_walk_steps.
   std::vector<VarBind> walk(const Oid& prefix);
 
   const std::string& address() const { return address_; }
@@ -41,6 +123,9 @@ class Client {
   Transport* transport_;
   std::string address_;
   std::string community_;
+  Config config_;
+  BreakerBoard* breakers_;
+  Rng jitter_rng_;
   std::int32_t next_request_id_ = 1;
 };
 

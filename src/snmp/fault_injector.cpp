@@ -1,0 +1,172 @@
+#include "snmp/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "snmp/codec.hpp"
+#include "util/error.hpp"
+
+namespace remos::snmp {
+
+FaultInjector::FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::loss_burst(Window window, double probability,
+                               std::string address) {
+  if (probability < 0 || probability > 1.0)
+    throw InvalidArgument("FaultInjector: loss probability outside [0,1]");
+  loss_bursts_.push_back({window, probability, std::move(address)});
+}
+
+void FaultInjector::latency_spike(Window window, Seconds extra,
+                                  std::string address) {
+  if (extra < 0)
+    throw InvalidArgument("FaultInjector: negative latency spike");
+  latency_spikes_.push_back({window, extra, std::move(address)});
+}
+
+void FaultInjector::crash(std::string address, Window window) {
+  if (address.empty())
+    throw InvalidArgument("FaultInjector: crash needs a concrete address");
+  // A reboot re-bases the agent's counters; register the reset at the
+  // restart instant (a never-ending crash never restarts).
+  if (window.until < std::numeric_limits<double>::infinity())
+    counter_reset(address, window.until);
+  crashes_.push_back({std::move(address), window});
+}
+
+void FaultInjector::corrupt(Window window, double probability,
+                            std::string address) {
+  if (probability < 0 || probability > 1.0)
+    throw InvalidArgument("FaultInjector: corrupt probability outside [0,1]");
+  corruptions_.push_back({window, probability, std::move(address)});
+}
+
+void FaultInjector::truncate(Window window, double probability,
+                             std::string address) {
+  if (probability < 0 || probability > 1.0)
+    throw InvalidArgument(
+        "FaultInjector: truncate probability outside [0,1]");
+  truncations_.push_back({window, probability, std::move(address)});
+}
+
+void FaultInjector::counter_reset(std::string address, Seconds at) {
+  if (address.empty())
+    throw InvalidArgument(
+        "FaultInjector: counter_reset needs a concrete address");
+  resets_[std::move(address)].push_back(CounterReset{at, {}});
+}
+
+void FaultInjector::stick_counters(std::string address, Window window) {
+  if (address.empty())
+    throw InvalidArgument(
+        "FaultInjector: stick_counters needs a concrete address");
+  sticks_[std::move(address)].push_back(CounterStick{window, {}});
+}
+
+bool FaultInjector::agent_down(const std::string& address,
+                               Seconds now) const {
+  for (const Crash& c : crashes_)
+    if (c.address == address && c.window.contains(now)) return true;
+  return false;
+}
+
+bool FaultInjector::drop_request(const std::string& address, Seconds now) {
+  for (const LossBurst& b : loss_bursts_) {
+    if (!matches(b.address, address) || !b.window.contains(now)) continue;
+    if (rng_.chance(b.probability)) {
+      ++faults_injected_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::drop_response(const std::string& address, Seconds now) {
+  // Bursts hit both directions independently, like real congestion.
+  return drop_request(address, now);
+}
+
+Seconds FaultInjector::extra_latency(const std::string& address,
+                                     Seconds now) const {
+  Seconds extra = 0;
+  for (const LatencySpike& s : latency_spikes_)
+    if (matches(s.address, address) && s.window.contains(now))
+      extra += s.extra;
+  return extra;
+}
+
+bool FaultInjector::roll_windows(const std::vector<Mutation>& faults,
+                                 const std::string& address, Seconds now) {
+  for (const Mutation& m : faults) {
+    if (!matches(m.address, address) || !m.window.contains(now)) continue;
+    if (rng_.chance(m.probability)) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> FaultInjector::mutate_response(
+    const std::string& address, Seconds now, std::vector<std::uint8_t> wire) {
+  // 1. Counter faults rewrite the decoded PDU, so they always produce a
+  // syntactically valid datagram carrying semantically wrong values --
+  // the hardest case for the collector.
+  const auto stick_it = sticks_.find(address);
+  const auto reset_it = resets_.find(address);
+  CounterStick* stick = nullptr;
+  if (stick_it != sticks_.end())
+    for (CounterStick& s : stick_it->second)
+      if (s.window.contains(now)) stick = &s;
+  CounterReset* reset = nullptr;
+  if (reset_it != resets_.end())
+    for (CounterReset& r : reset_it->second)
+      if (r.at <= now) reset = &r;  // latest reset wins (list is in order)
+  if (stick != nullptr || reset != nullptr) {
+    try {
+      Pdu pdu = decode(wire);
+      bool changed = false;
+      for (VarBind& vb : pdu.bindings) {
+        if (stick != nullptr && vb.value.type() == ValueType::kCounter32) {
+          const auto [it, first] =
+              stick->frozen.try_emplace(vb.oid, vb.value.as_counter32());
+          if (!first) vb.value = Value::counter32(it->second);
+          changed = true;
+          continue;
+        }
+        if (reset == nullptr) continue;
+        if (vb.value.type() == ValueType::kCounter32) {
+          const auto [it, _] =
+              reset->baseline.try_emplace(vb.oid, vb.value.as_counter32());
+          vb.value =
+              Value::counter32(vb.value.as_counter32() - it->second);
+          changed = true;
+        } else if (vb.value.type() == ValueType::kTimeTicks) {
+          const auto [it, _] =
+              reset->baseline.try_emplace(vb.oid, vb.value.as_time_ticks());
+          vb.value =
+              Value::time_ticks(vb.value.as_time_ticks() - it->second);
+          changed = true;
+        }
+      }
+      if (changed) {
+        ++faults_injected_;
+        wire = encode(pdu);
+      }
+    } catch (const ProtocolError&) {
+      // Not a decodable PDU (already mangled); leave as-is.
+    }
+  }
+
+  // 2. Byte-level damage on the encoded form.
+  if (!wire.empty() && roll_windows(corruptions_, address, now)) {
+    ++faults_injected_;
+    const std::size_t index = rng_.below(wire.size());
+    std::uint8_t flip = 0;
+    while (flip == 0) flip = static_cast<std::uint8_t>(rng_.below(256));
+    wire[index] ^= flip;
+  }
+  if (!wire.empty() && roll_windows(truncations_, address, now)) {
+    ++faults_injected_;
+    wire.resize(rng_.below(wire.size()));  // keep [0, size) bytes
+  }
+  return wire;
+}
+
+}  // namespace remos::snmp

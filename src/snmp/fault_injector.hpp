@@ -1,0 +1,139 @@
+// Scriptable fault injection for the management plane.
+//
+// A FaultInjector attaches to a Transport and perturbs exchanges
+// according to a schedule of time-windowed faults, so that every chaos
+// scenario the collector must survive -- loss bursts, latency spikes,
+// agent crashes and restarts, garbled datagrams, stuck or reset MIB
+// counters -- can be reproduced deterministically from a seed.  The
+// injector sits strictly at the transport boundary: agents and the
+// simulator are never aware of it, which mirrors how real failures look
+// to a management station (the router does not announce that it is about
+// to reboot).
+//
+// Counter faults are implemented by rewriting response PDUs in flight:
+// a "reset" re-bases every Counter32/TimeTicks value of an address to
+// zero from the reset instant (exactly what an agent restart does to its
+// ifTable), and a "stick" freezes Counter32 values for the window (a
+// wedged line card).  Both therefore exercise the collector's delta
+// plausibility logic over the real wire encoding.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "snmp/oid.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace remos::snmp {
+
+class FaultInjector {
+ public:
+  /// Half-open time window [from, until) on the transport's clock.
+  struct Window {
+    Seconds from = 0;
+    Seconds until = std::numeric_limits<double>::infinity();
+
+    bool contains(Seconds t) const { return t >= from && t < until; }
+  };
+
+  explicit FaultInjector(std::uint64_t seed = 0xFA017);
+
+  // --- scripting -------------------------------------------------------
+  // An empty `address` targets every agent.  Faults compose: a datagram
+  // may survive a loss burst only to be corrupted.
+
+  /// Extra per-datagram loss probability while the window is active.
+  void loss_burst(Window window, double probability,
+                  std::string address = "");
+
+  /// Extra per-attempt round-trip latency while the window is active
+  /// (consumes the client's per-exchange timeout budget).
+  void latency_spike(Window window, Seconds extra, std::string address = "");
+
+  /// Agent down for the whole window; on restart its counters and uptime
+  /// re-base to zero, like a real reboot.
+  void crash(std::string address, Window window);
+
+  /// Probability that a response datagram gets one byte flipped.
+  void corrupt(Window window, double probability, std::string address = "");
+
+  /// Probability that a response datagram loses a suffix.
+  void truncate(Window window, double probability, std::string address = "");
+
+  /// Counter discontinuity without downtime (e.g. an snmpd restart):
+  /// Counter32/TimeTicks values from `address` re-base to zero at `at`.
+  void counter_reset(std::string address, Seconds at);
+
+  /// Counter32 values from `address` freeze for the window (wedged
+  /// line-card firmware); on thaw they jump forward.
+  void stick_counters(std::string address, Window window);
+
+  // --- hooks (called by Transport with its clock) ----------------------
+
+  bool agent_down(const std::string& address, Seconds now) const;
+  bool drop_request(const std::string& address, Seconds now);
+  bool drop_response(const std::string& address, Seconds now);
+  Seconds extra_latency(const std::string& address, Seconds now) const;
+
+  /// Applies counter rewrites, corruption and truncation; returns the
+  /// datagram to deliver (possibly unchanged).
+  std::vector<std::uint8_t> mutate_response(const std::string& address,
+                                            Seconds now,
+                                            std::vector<std::uint8_t> wire);
+
+  /// Total faults realized (dropped, delayed datagrams excluded; counts
+  /// mutations and scheduled-drop hits) -- for test introspection.
+  std::uint64_t faults_injected() const { return faults_injected_; }
+
+ private:
+  struct LossBurst {
+    Window window;
+    double probability;
+    std::string address;
+  };
+  struct LatencySpike {
+    Window window;
+    Seconds extra;
+    std::string address;
+  };
+  struct Crash {
+    std::string address;
+    Window window;
+  };
+  struct Mutation {
+    Window window;
+    double probability;
+    std::string address;
+  };
+  struct CounterReset {
+    Seconds at;
+    /// First value seen at/after `at`, per OID: the re-base point.
+    std::map<Oid, std::uint32_t> baseline;
+  };
+  struct CounterStick {
+    Window window;
+    std::map<Oid, std::uint32_t> frozen;
+  };
+
+  bool matches(const std::string& filter, const std::string& address) const {
+    return filter.empty() || filter == address;
+  }
+  bool roll_windows(const std::vector<Mutation>& faults,
+                    const std::string& address, Seconds now);
+
+  Rng rng_;
+  std::vector<LossBurst> loss_bursts_;
+  std::vector<LatencySpike> latency_spikes_;
+  std::vector<Crash> crashes_;
+  std::vector<Mutation> corruptions_;
+  std::vector<Mutation> truncations_;
+  std::map<std::string, std::vector<CounterReset>> resets_;
+  std::map<std::string, std::vector<CounterStick>> sticks_;
+  std::uint64_t faults_injected_ = 0;
+};
+
+}  // namespace remos::snmp

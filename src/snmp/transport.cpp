@@ -1,5 +1,6 @@
 #include "snmp/transport.hpp"
 
+#include "snmp/fault_injector.hpp"
 #include "util/error.hpp"
 
 namespace remos::snmp {
@@ -9,6 +10,8 @@ Transport::Transport(Config config) : config_(config), rng_(config.seed) {
     throw InvalidArgument("Transport: loss probability outside [0,1)");
   if (config_.max_attempts < 1)
     throw InvalidArgument("Transport: max_attempts < 1");
+  if (config_.base_rtt < 0)
+    throw InvalidArgument("Transport: negative base_rtt");
 }
 
 void Transport::bind(const std::string& address, Handler handler) {
@@ -25,28 +28,67 @@ bool Transport::bound(const std::string& address) const {
   return endpoints_.contains(address);
 }
 
-std::optional<std::vector<std::uint8_t>> Transport::request(
+void Transport::set_clock(std::function<Seconds()> clock) {
+  clock_ = std::move(clock);
+}
+
+std::uint64_t Transport::datagrams_sent_to(const std::string& address) const {
+  const auto it = sent_to_.find(address);
+  return it == sent_to_.end() ? 0 : it->second;
+}
+
+Transport::Attempt Transport::attempt(
     const std::string& address, const std::vector<std::uint8_t>& datagram) {
   const auto it = endpoints_.find(address);
   if (it == endpoints_.end())
     throw NotFoundError("Transport: no endpoint at " + address);
 
-  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
-    ++datagrams_sent_;
-    bytes_sent_ += datagram.size();
-    if (rng_.chance(config_.loss_probability)) {
-      ++datagrams_lost_;  // request lost in flight
-      continue;
+  const Seconds t = now();
+  Attempt out;
+  out.latency = config_.base_rtt;
+  if (injector_) out.latency += injector_->extra_latency(address, t);
+  synthetic_now_ += out.latency;
+
+  ++datagrams_sent_;
+  ++sent_to_[address];
+  bytes_sent_ += datagram.size();
+  // A crashed agent looks exactly like a lost request: silence.
+  if (injector_ &&
+      (injector_->agent_down(address, t) ||
+       injector_->drop_request(address, t))) {
+    ++datagrams_lost_;
+    return out;
+  }
+  if (rng_.chance(config_.loss_probability)) {
+    ++datagrams_lost_;  // request lost in flight
+    return out;
+  }
+
+  auto response = it->second(datagram);
+  if (!response) return out;  // endpoint dropped it
+  ++datagrams_sent_;
+  ++sent_to_[address];
+  bytes_sent_ += response->size();
+  if (injector_) {
+    *response = injector_->mutate_response(address, t, std::move(*response));
+    if (injector_->drop_response(address, t)) {
+      ++datagrams_lost_;
+      return out;
     }
-    const auto response = it->second(datagram);
-    if (!response) continue;  // endpoint dropped it
-    ++datagrams_sent_;
-    bytes_sent_ += response->size();
-    if (rng_.chance(config_.loss_probability)) {
-      ++datagrams_lost_;  // response lost in flight
-      continue;
-    }
-    return response;
+  }
+  if (rng_.chance(config_.loss_probability)) {
+    ++datagrams_lost_;  // response lost in flight
+    return out;
+  }
+  out.response = std::move(response);
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> Transport::request(
+    const std::string& address, const std::vector<std::uint8_t>& datagram) {
+  for (int i = 0; i < config_.max_attempts; ++i) {
+    Attempt result = attempt(address, datagram);
+    if (result.response) return std::move(result.response);
   }
   ++requests_failed_;
   return std::nullopt;

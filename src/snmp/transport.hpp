@@ -7,8 +7,15 @@
 // collector's retry path is genuinely exercised.  Exchanges are
 // logically instantaneous with respect to the fluid simulator's clock --
 // management round-trips (sub-millisecond on the LAN testbed) are far
-// below the collector polling period -- but every datagram is accounted
-// (count + bytes) so the overhead ablation can report management load.
+// below the collector polling period -- but every attempt reports its
+// simulated latency cost (base RTT plus any injected spike) so clients
+// can enforce per-exchange timeout budgets, and every datagram is
+// accounted (count + bytes, globally and per address) so the overhead
+// ablation and the chaos tests can audit management load.
+//
+// A FaultInjector may be attached to perturb exchanges (loss bursts,
+// crashes, corruption, counter rewrites) on a schedule keyed to the
+// transport's clock; see fault_injector.hpp.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +26,11 @@
 #include <vector>
 
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace remos::snmp {
+
+class FaultInjector;
 
 class Transport {
  public:
@@ -31,8 +41,17 @@ class Transport {
 
   struct Config {
     double loss_probability = 0.0;  // per datagram, each direction
-    int max_attempts = 3;           // 1 try + retries
+    int max_attempts = 3;           // 1 try + retries (request() only)
     std::uint64_t seed = 0xC0FFEE;
+    /// Simulated round-trip cost of one attempt on the management LAN.
+    Seconds base_rtt = 0.001;
+  };
+
+  /// One datagram exchange attempt: the response (absent on loss, crash
+  /// or endpoint drop) and the simulated time the attempt cost.
+  struct Attempt {
+    std::optional<std::vector<std::uint8_t>> response;
+    Seconds latency = 0;
   };
 
   Transport() = default;
@@ -43,22 +62,44 @@ class Transport {
   void unbind(const std::string& address);
   bool bound(const std::string& address) const;
 
-  /// Sends a request and waits for the response, retrying on loss.
-  /// Returns nullopt after all attempts fail; throws NotFoundError if the
-  /// address was never bound.
+  /// Wires an external clock (normally the simulator's).  Without one,
+  /// the transport keeps a synthetic clock that advances by each
+  /// attempt's latency, so time-based policies still make progress in
+  /// plain unit tests.
+  void set_clock(std::function<Seconds()> clock);
+  Seconds now() const { return clock_ ? clock_() : synthetic_now_; }
+  bool has_clock() const { return static_cast<bool>(clock_); }
+
+  /// Attaches a fault injector (non-owning; may be null to detach).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// One attempt, no retries: the building block for client-side retry
+  /// policies.  Throws NotFoundError if the address was never bound.
+  Attempt attempt(const std::string& address,
+                  const std::vector<std::uint8_t>& datagram);
+
+  /// Sends a request and waits for the response, retrying on loss up to
+  /// Config::max_attempts.  Returns nullopt after all attempts fail;
+  /// throws NotFoundError if the address was never bound.
   std::optional<std::vector<std::uint8_t>> request(
       const std::string& address, const std::vector<std::uint8_t>& datagram);
 
-  // Accounting for the management-overhead ablation.
+  // Accounting for the management-overhead ablation and chaos tests.
   std::uint64_t datagrams_sent() const { return datagrams_sent_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t datagrams_lost() const { return datagrams_lost_; }
   std::uint64_t requests_failed() const { return requests_failed_; }
+  /// Datagrams (both directions) of exchanges with one agent address.
+  std::uint64_t datagrams_sent_to(const std::string& address) const;
 
  private:
   Config config_;
   Rng rng_{config_.seed};
+  std::function<Seconds()> clock_;
+  Seconds synthetic_now_ = 0;
+  FaultInjector* injector_ = nullptr;
   std::unordered_map<std::string, Handler> endpoints_;
+  std::unordered_map<std::string, std::uint64_t> sent_to_;
   std::uint64_t datagrams_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t datagrams_lost_ = 0;

@@ -44,4 +44,13 @@ class TimeoutError : public Error {
   explicit TimeoutError(const std::string& what) : Error(what) {}
 };
 
+/// An exchange was refused without touching the wire because the target
+/// agent's circuit breaker is open (it failed repeatedly and its cooldown
+/// has not elapsed).  Derives from TimeoutError so callers that already
+/// degrade gracefully on timeouts handle fast-fails identically.
+class CircuitOpenError : public TimeoutError {
+ public:
+  explicit CircuitOpenError(const std::string& what) : TimeoutError(what) {}
+};
+
 }  // namespace remos
