@@ -1,0 +1,207 @@
+// Service throughput/latency bench: the concurrent QueryService at
+// capacity and at 2x sustained overload.
+//
+// Phase A (capacity): client concurrency matched to the worker pool;
+// reports sustained qps and client-observed p50/p99.
+//
+// Phase B (2x overload): offered concurrency is twice the admission
+// bound, so the bounded queue must shed -- reports the shed rate and the
+// p50/p99 of the queries that were admitted, which is the property the
+// service actually guarantees (admitted latency stays bounded no matter
+// the offered load).
+//
+// Results are printed as a table and also written to BENCH_service.json
+// in the working directory for CI trend tracking.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "apps/harness.hpp"
+#include "bench/bench_common.hpp"
+#include "netsim/traffic.hpp"
+
+namespace {
+
+using namespace remos;
+using service::QueryStatus;
+using Clock = std::chrono::steady_clock;
+
+struct PhaseResult {
+  double qps = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t errors = 0;
+
+  double shed_rate() const {
+    const double total = static_cast<double>(admitted + shed);
+    return total == 0 ? 0.0 : static_cast<double>(shed) / total;
+  }
+};
+
+std::uint64_t percentile_us(std::vector<std::uint64_t>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = std::min(
+      v.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+/// Drives `clients` threads, each issuing `per_client` graph queries, and
+/// tallies client-side outcomes.  Latencies are recorded for admitted
+/// (non-shed) queries only: shed returns are O(1) by design and would
+/// just dilute the quantiles the SLO is about.
+PhaseResult run_phase(apps::CmuHarness& harness,
+                      service::QueryService& service, int clients,
+                      int per_client) {
+  std::mutex mu;
+  std::vector<std::uint64_t> admitted_us;
+  PhaseResult r;
+  std::atomic<std::uint64_t> admitted{0}, shed{0}, expired{0}, errors{0};
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const std::vector<std::string>& hosts = harness.hosts();
+      std::vector<std::uint64_t> local;
+      local.reserve(static_cast<std::size_t>(per_client));
+      for (int i = 0; i < per_client; ++i) {
+        service::GraphQuery q;
+        q.nodes = {hosts[static_cast<std::size_t>(i + c) % hosts.size()],
+                   hosts[static_cast<std::size_t>(i + c + 3) %
+                         hosts.size()]};
+        const auto s = Clock::now();
+        const service::ResponseMeta meta =
+            service.get_graph(std::move(q)).meta;
+        const auto us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - s)
+                .count();
+        switch (meta.status) {
+          case QueryStatus::kAnswered:
+          case QueryStatus::kStale:
+            ++admitted;
+            local.push_back(static_cast<std::uint64_t>(us));
+            break;
+          case QueryStatus::kOverloaded: ++shed; break;
+          case QueryStatus::kExpired: ++expired; break;
+          case QueryStatus::kError: ++errors; break;
+        }
+      }
+      const std::lock_guard<std::mutex> lock(mu);
+      admitted_us.insert(admitted_us.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  r.admitted = admitted.load();
+  r.shed = shed.load();
+  r.expired = expired.load();
+  r.errors = errors.load();
+  const double total = static_cast<double>(clients) * per_client;
+  r.qps = secs == 0 ? 0 : total / secs;
+  r.p50_us = percentile_us(admitted_us, 0.50);
+  r.p99_us = percentile_us(admitted_us, 0.99);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using bench::row;
+  using bench::rule;
+
+  std::cout << "Concurrent query service: capacity vs 2x overload\n\n";
+
+  // --- Phase A: at capacity -------------------------------------------
+  PhaseResult cap;
+  std::size_t cap_queue = 0;
+  {
+    apps::CmuHarness harness;
+    harness.start(6.0);
+    netsim::CbrTraffic background(harness.sim(), "m-5", "m-8", mbps(20),
+                                  4.0);
+    service::QueryService::Options so;
+    so.workers = 4;
+    so.queue_capacity = 64;
+    so.default_deadline = std::chrono::milliseconds(2000);
+    so.staleness_slo = 1e9;
+    so.poll_interval = std::chrono::milliseconds(5);
+    cap_queue = so.queue_capacity;
+    auto service = harness.serve(so);
+    cap = run_phase(harness, *service, /*clients=*/4, /*per_client=*/250);
+    service->stop();
+  }
+
+  // --- Phase B: 2x sustained overload ---------------------------------
+  // Offered concurrency = 2x the admission bound, so shedding is the
+  // designed steady state, not an accident.
+  PhaseResult over;
+  std::size_t over_queue = 0;
+  {
+    apps::CmuHarness harness;
+    harness.start(6.0);
+    service::QueryService::Options so;
+    so.workers = 2;
+    so.queue_capacity = 8;
+    so.default_deadline = std::chrono::milliseconds(2000);
+    so.staleness_slo = 1e9;
+    so.poll_interval = std::chrono::milliseconds(5);
+    over_queue = so.queue_capacity;
+    auto service = harness.serve(so);
+    over = run_phase(harness, *service, /*clients=*/16, /*per_client=*/80);
+    service->stop();
+  }
+
+  const std::vector<int> w{12, 10, 10, 10, 10, 10, 10};
+  row({"phase", "qps", "p50 us", "p99 us", "admitted", "shed",
+       "shed rate"},
+      w);
+  rule(w);
+  row({"capacity", fixed(cap.qps, 0), std::to_string(cap.p50_us),
+       std::to_string(cap.p99_us), std::to_string(cap.admitted),
+       std::to_string(cap.shed), fixed(cap.shed_rate() * 100, 1) + "%"},
+      w);
+  row({"2x overload", fixed(over.qps, 0), std::to_string(over.p50_us),
+       std::to_string(over.p99_us), std::to_string(over.admitted),
+       std::to_string(over.shed),
+       fixed(over.shed_rate() * 100, 1) + "%"},
+      w);
+  std::cout << "\n(queue depth " << cap_queue << " at capacity, "
+            << over_queue << " under overload; overload quantiles are "
+               "admitted queries only)\n";
+
+  std::ofstream json("BENCH_service.json");
+  json << "{\n"
+       << "  \"capacity\": {\"qps\": " << fixed(cap.qps, 1)
+       << ", \"p50_us\": " << cap.p50_us << ", \"p99_us\": " << cap.p99_us
+       << ", \"admitted\": " << cap.admitted << ", \"shed\": " << cap.shed
+       << ", \"errors\": " << cap.errors << "},\n"
+       << "  \"overload_2x\": {\"qps\": " << fixed(over.qps, 1)
+       << ", \"p50_us\": " << over.p50_us
+       << ", \"p99_us\": " << over.p99_us
+       << ", \"admitted\": " << over.admitted
+       << ", \"shed\": " << over.shed
+       << ", \"shed_rate\": " << fixed(over.shed_rate(), 4)
+       << ", \"errors\": " << over.errors << "}\n"
+       << "}\n";
+  std::cout << "\nwrote BENCH_service.json\n";
+
+  // Exit nonzero if the SLO story failed: at 2x overload the service
+  // must shed rather than queue without bound, and nothing may error.
+  const bool ok = cap.errors == 0 && over.errors == 0 && over.shed > 0 &&
+                  cap.shed == 0;
+  if (!ok) std::cerr << "BENCH_service: SLO invariants violated\n";
+  return ok ? 0 : 1;
+}

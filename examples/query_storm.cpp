@@ -1,0 +1,131 @@
+// Query storm: many concurrent network-aware applications hammering one
+// Remos query service while the measurement plane degrades underneath it.
+//
+// Eight client threads issue mixed remos_get_graph / remos_flow_info
+// queries against the concurrent QueryService while the PR 1 fault
+// schedule runs: a 30% loss burst, two router-agent crash/restarts and a
+// counter reset.  Every query carries a deadline and a staleness budget;
+// the service answers from immutable snapshots, flags stale answers,
+// sheds overload, and never blocks a caller past its deadline.
+//
+//   ./query_storm
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "apps/harness.hpp"
+#include "netsim/traffic.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace remos;
+using service::QueryStatus;
+
+struct Tally {
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<std::uint64_t> stale{0};
+  std::atomic<std::uint64_t> overloaded{0};
+  std::atomic<std::uint64_t> expired{0};
+  std::atomic<std::uint64_t> errors{0};
+
+  void count(QueryStatus s) {
+    switch (s) {
+      case QueryStatus::kAnswered: ++answered; break;
+      case QueryStatus::kStale: ++stale; break;
+      case QueryStatus::kOverloaded: ++overloaded; break;
+      case QueryStatus::kExpired: ++expired; break;
+      case QueryStatus::kError: ++errors; break;
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  apps::CmuHarness harness;
+  snmp::FaultInjector& fx = harness.fault_injector();
+  std::cout << "fault schedule: loss burst 30% @ [10,40)s, timberline "
+               "crash @ [50,70)s,\n                aspen counter reset @ "
+               "80s, whiteface crash @ [90,120)s\n\n";
+  fx.loss_burst({10.0, 40.0}, 0.30);
+  fx.crash(snmp::agent_address("timberline"), {50.0, 70.0});
+  fx.counter_reset(snmp::agent_address("aspen"), 80.0);
+  fx.crash(snmp::agent_address("whiteface"), {90.0, 120.0});
+  harness.start(6.0);
+  netsim::CbrTraffic background(harness.sim(), "m-5", "m-8", mbps(20), 4.0);
+
+  service::QueryService::Options so;
+  so.workers = 4;
+  so.queue_capacity = 64;
+  so.default_deadline = std::chrono::milliseconds(2000);
+  // Tighter than the 2 s poll period: answers served late in a polling
+  // interval exceed the budget and come back flagged kStale.
+  so.staleness_slo = 1.0;
+  so.poll_interval = std::chrono::milliseconds(3);
+  auto service = harness.serve(so);
+  std::cout << "service up: " << so.workers << " workers, queue depth "
+            << so.queue_capacity << ", deadline 2 s, staleness SLO "
+            << fixed(so.staleness_slo, 0) << " s (model clock)\n";
+
+  constexpr int kClients = 8;
+  constexpr Seconds kEnd = 130.0;
+  Tally tally;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const std::vector<std::string>& hosts = harness.hosts();
+      int i = 0;
+      while (service->model_now() < kEnd) {
+        service::ResponseMeta meta;
+        if ((i + c) % 3 == 0) {
+          core::FlowQuery fq;
+          fq.fixed = {core::FlowRequest{
+              hosts[static_cast<std::size_t>(i) % hosts.size()],
+              hosts[static_cast<std::size_t>(i + 4) % hosts.size()],
+              mbps(5)}};
+          service::FlowInfoQuery q;
+          q.query = std::move(fq);
+          meta = service->flow_info(std::move(q)).meta;
+        } else {
+          service::GraphQuery q;
+          q.nodes = {hosts[static_cast<std::size_t>(i) % hosts.size()],
+                     hosts[static_cast<std::size_t>(i + 1 + c) %
+                           hosts.size()]};
+          meta = service->get_graph(std::move(q)).meta;
+        }
+        tally.count(meta.status);
+        ++i;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  service->stop();
+
+  const service::ServiceStats stats = service->stats();
+  std::cout << "\nstorm complete at model time "
+            << fixed(service->model_now(), 0) << " s, snapshot v"
+            << stats.snapshot_version << " (" << stats.polls
+            << " poll steps)\n\n";
+  std::cout << "  answered fresh   " << tally.answered.load() << "\n"
+            << "  answered stale   " << tally.stale.load()
+            << "   (served past the SLO with decayed accuracy)\n"
+            << "  shed (overload)  " << tally.overloaded.load() << "\n"
+            << "  expired          " << tally.expired.load() << "\n"
+            << "  errors           " << tally.errors.load() << "\n\n";
+  std::cout << "service-side latency: p50 " << stats.p50_us << " us, p99 "
+            << stats.p99_us << " us; in-flight high water "
+            << stats.in_flight_high_water << "/" << so.queue_capacity
+            << "\n";
+
+  // The measurement plane really did degrade: show what the collector saw.
+  std::cout << "\ncollector health transitions during the storm:\n";
+  for (const collector::HealthTransition& t :
+       harness.collector().health_log())
+    std::cout << "  t=" << pad_left(fixed(t.at, 0), 3) << "s  " << t.router
+              << ": " << to_string(t.from) << " -> " << to_string(t.to)
+              << "\n";
+  return 0;
+}

@@ -16,7 +16,8 @@ snmp::Transport::Config transport_config(const CmuHarness::Options& o) {
 }  // namespace
 
 CmuHarness::CmuHarness(Options options)
-    : sim_(netsim::make_cmu_testbed(options.link_rate)),
+    : poll_period_(options.poll_period),
+      sim_(netsim::make_cmu_testbed(options.link_rate)),
       transport_(transport_config(options)),
       injector_(options.seed ^ 0xFA017),
       collector_(transport_, netsim::CmuNames::routers(),
@@ -53,6 +54,36 @@ const std::vector<std::string>& CmuHarness::hosts() const {
 void CmuHarness::start(Seconds warmup) {
   collector_.discover();
   sim_.run_for(warmup);
+}
+
+std::unique_ptr<service::QueryService> CmuHarness::serve(
+    service::QueryService::Options options) {
+  if (poll_period_ <= 0)
+    throw InvalidArgument("serve: harness built without periodic polling");
+  auto svc = std::make_unique<service::QueryService>(options);
+  service::QueryService* s = svc.get();
+  // Snapshot publication hook: after every timer-driven poll round the
+  // collector's refreshed model is deep-copied into an immutable
+  // versioned snapshot.  The hook runs on the poller thread (the only
+  // thread driving the simulator once the service starts).
+  collector_.set_poll_hook(
+      [s](const collector::NetworkModel& m, Seconds now) {
+        s->publish(m, now);
+      });
+  // Seed version 1 from the collector's current (warmed-up) model so the
+  // first queries never race the first timer-driven poll.
+  svc->publish(collector_.model(), sim_.now());
+  // Each poll step advances the clock a quarter polling period, so the
+  // service's model clock moves smoothly between the collector's
+  // timer-driven polls and snapshot age reflects the position within the
+  // polling interval (a query landing just before the next poll sees an
+  // almost-period-old snapshot, exactly as a real deployment would).
+  const Seconds step = poll_period_ / 4.0;
+  svc->start([this, s, step] {
+    sim_.run_for(step);
+    s->note_model_now(sim_.now());
+  });
+  return svc;
 }
 
 snmp::HostStats& CmuHarness::host_stats(const std::string& host) {

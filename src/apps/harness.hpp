@@ -17,6 +17,7 @@
 #include "core/modeler.hpp"
 #include "netsim/simulator.hpp"
 #include "netsim/testbeds.hpp"
+#include "service/query_service.hpp"
 #include "snmp/agent.hpp"
 #include "snmp/fault_injector.hpp"
 #include "snmp/mib2.hpp"
@@ -60,10 +61,24 @@ class CmuHarness {
   /// clock through `warmup` seconds so histories have content.
   void start(Seconds warmup = 6.0);
 
+  /// Builds and starts a concurrent query service over this deployment.
+  /// The service's background poller thread advances the simulated clock
+  /// by poll_period per step (firing the collector's timer-driven polls),
+  /// and the collector's poll hook publishes an immutable snapshot after
+  /// each poll round.  From the moment serve() returns, the simulator and
+  /// collector belong to the poller thread: interact with the experiment
+  /// through the returned service, and stop() it (or destroy it) before
+  /// touching sim()/collector() directly again.  The harness must outlive
+  /// the returned service.
+  std::unique_ptr<service::QueryService> serve(
+      service::QueryService::Options options =
+          service::QueryService::Options{});
+
   /// Mutable host-side stats (index matches hosts()).
   snmp::HostStats& host_stats(const std::string& host);
 
  private:
+  Seconds poll_period_;
   netsim::Simulator sim_;
   snmp::Transport transport_;
   snmp::FaultInjector injector_;

@@ -36,6 +36,7 @@ void Collector::arm(netsim::Simulator& sim, Seconds period) {
     if (epoch != epoch_ || !polling_) return;
     poll();
     ++polls_completed_;
+    if (poll_hook_) poll_hook_(model_, sim.now());
     arm(sim, period);
   });
 }

@@ -9,6 +9,8 @@
 // start_polling, or manually from tests).
 #pragma once
 
+#include <functional>
+
 #include "collector/network_model.hpp"
 #include "netsim/simulator.hpp"
 
@@ -16,6 +18,13 @@ namespace remos::collector {
 
 class Collector {
  public:
+  /// Snapshot-publication hook: called after every timer-driven poll
+  /// (start_polling) with the refreshed model and the simulator clock.
+  /// The service layer uses this to publish an immutable snapshot per
+  /// poll round; the hook runs on whatever thread drives the simulator.
+  using PollHook =
+      std::function<void(const NetworkModel& model, Seconds now)>;
+
   virtual ~Collector();
 
   Collector(const Collector&) = delete;
@@ -47,6 +56,9 @@ class Collector {
   bool polling() const { return polling_; }
   std::size_t polls_completed() const { return polls_completed_; }
 
+  /// Installs (or clears, with nullptr) the per-poll publication hook.
+  void set_poll_hook(PollHook hook) { poll_hook_ = std::move(hook); }
+
  protected:
   Collector() = default;
 
@@ -58,6 +70,7 @@ class Collector {
   bool polling_ = false;
   std::uint64_t epoch_ = 0;  // invalidates armed timers after stop
   std::size_t polls_completed_ = 0;
+  PollHook poll_hook_;
 };
 
 }  // namespace remos::collector

@@ -27,6 +27,7 @@ void CollectorSet::poll_all() {
       ++poll_errors_;
     }
   }
+  if (publish_hook_) publish_hook_(merged());
 }
 
 NetworkModel CollectorSet::merged() const {

@@ -6,6 +6,7 @@
 // domain plus a BenchmarkCollector spanning the WAN cloud between them.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "collector/collector.hpp"
@@ -14,6 +15,12 @@ namespace remos::collector {
 
 class CollectorSet {
  public:
+  /// Snapshot-publication hook: called at the end of every poll_all()
+  /// round with the freshly merged view (see Collector::PollHook for the
+  /// single-collector equivalent).  The merged model passed in is a
+  /// value the hook may move into an immutable snapshot.
+  using PublishHook = std::function<void(NetworkModel merged)>;
+
   CollectorSet() = default;
 
   /// Registers a collector; it must outlive the set.
@@ -31,6 +38,9 @@ class CollectorSet {
   /// Poll rounds in which some collector threw.
   std::size_t poll_errors() const { return poll_errors_; }
 
+  /// Installs (or clears, with nullptr) the per-round publication hook.
+  void set_publish_hook(PublishHook hook) { publish_hook_ = std::move(hook); }
+
   /// Merged view across all collectors (rebuilt on each call).  Where
   /// collectors disagree on scalar state, healthy collectors override
   /// degraded ones and fresher data overrides staler.
@@ -39,6 +49,7 @@ class CollectorSet {
  private:
   std::vector<Collector*> collectors_;
   std::size_t poll_errors_ = 0;
+  PublishHook publish_hook_;
 };
 
 }  // namespace remos::collector

@@ -15,6 +15,9 @@ Modeler::Modeler(const collector::Collector& collector)
 
 Modeler::Modeler(const collector::CollectorSet& set) : set_(&set) {}
 
+Modeler::Modeler(const collector::NetworkModel& snapshot)
+    : snapshot_(&snapshot) {}
+
 void Modeler::set_clock(std::function<Seconds()> clock) {
   clock_ = std::move(clock);
 }
@@ -25,6 +28,7 @@ void Modeler::set_predictor(std::unique_ptr<Predictor> predictor) {
 }
 
 const collector::NetworkModel& Modeler::model() const {
+  if (snapshot_) return *snapshot_;
   if (single_) return single_->model();
   merged_cache_ = set_->merged();
   return merged_cache_;
@@ -41,7 +45,8 @@ Seconds Modeler::now(const collector::NetworkModel& m) const {
 NetworkGraph Modeler::get_graph(const std::vector<std::string>& nodes,
                                 const Timeframe& timeframe,
                                 const LogicalOptions& options) const {
-  ++queries_answered_;
+  timeframe.validate();
+  queries_answered_.fetch_add(1, std::memory_order_relaxed);
   const collector::NetworkModel& m = model();
   return build_logical_graph(m, nodes, timeframe, now(m), *predictor_,
                              options);
@@ -75,7 +80,8 @@ double used_at(const Measurement& used, std::size_t scenario) {
 }  // namespace
 
 FlowQueryResult Modeler::flow_info(const FlowQuery& query) const {
-  ++queries_answered_;
+  query.timeframe.validate();
+  queries_answered_.fetch_add(1, std::memory_order_relaxed);
   // Endpoint set -> logical graph for the query's timeframe.
   std::vector<const FlowRequest*> all;
   for (const FlowRequest& f : query.fixed) all.push_back(&f);
@@ -102,9 +108,22 @@ FlowQueryResult Modeler::flow_info(const FlowQuery& query) const {
       endpoint_set.insert(d);
     }
   }
-  const std::vector<std::string> endpoints(endpoint_set.begin(),
-                                           endpoint_set.end());
-  const NetworkGraph graph = get_graph(endpoints, query.timeframe);
+  // Endpoints the model does not know make their flows structured
+  // routable=false results instead of a NotFoundError escaping the query
+  // API mid-session; the logical graph is built over the known names.
+  const collector::NetworkModel& m = model();
+  std::set<std::string> known;
+  for (const std::string& e : endpoint_set)
+    if (m.has_node(e)) known.insert(e);
+  const auto resolvable = [&](const FlowRequest& f) {
+    return known.contains(f.src) && known.contains(f.dst);
+  };
+  const std::vector<std::string> endpoints(known.begin(), known.end());
+  queries_answered_.fetch_add(1, std::memory_order_relaxed);
+  NetworkGraph graph;
+  if (!endpoints.empty())
+    graph = build_logical_graph(m, endpoints, query.timeframe, now(m),
+                                *predictor_, LogicalOptions{});
 
   // Resource table over the logical graph: two directed resources per
   // link, then one per node with a known internal bandwidth.
@@ -132,6 +151,7 @@ FlowQueryResult Modeler::flow_info(const FlowQuery& query) const {
   for (std::size_t i = 0; i < all.size(); ++i) {
     RoutedFlow& rf = routed[i];
     rf.request = all[i];
+    if (!resolvable(*all[i])) continue;  // unknown endpoint: unroutable
     const auto path = graph.route(all[i]->src, all[i]->dst);
     if (!path) continue;
     rf.routable = true;
@@ -169,11 +189,18 @@ FlowQueryResult Modeler::flow_info(const FlowQuery& query) const {
   };
   std::vector<RoutedMulticast> routed_mc(query.multicast.size());
   for (std::size_t i = 0; i < query.multicast.size(); ++i) {
-    const MulticastRequest& m = query.multicast[i];
+    const MulticastRequest& mc = query.multicast[i];
     RoutedMulticast& rm = routed_mc[i];
+    if (!known.contains(mc.src)) {
+      rm.routable = false;
+      continue;
+    }
+    for (const std::string& dst : mc.dsts)
+      if (!known.contains(dst)) rm.routable = false;
+    if (!rm.routable) continue;
     std::set<std::size_t> union_resources;
-    const RouteTree tree = graph.routes_from(m.src);
-    for (const std::string& dst : m.dsts) {
+    const RouteTree tree = graph.routes_from(mc.src);
+    for (const std::string& dst : mc.dsts) {
       const auto path = tree.path_to(dst);
       if (!path) {
         rm.routable = false;

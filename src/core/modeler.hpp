@@ -6,11 +6,20 @@
 // with each of the network components, and satisfying flow requests based
 // on the logical topology."
 //
-// The Modeler holds no measurement state of its own -- it reads the
-// collector's live model at query time, so every query reflects the most
-// recent polls.
+// The Modeler holds no measurement state of its own.  It serves from one
+// of three sources:
+//   - a live Collector (reads the collector's model at query time);
+//   - a CollectorSet (re-merges the cooperating views at query time);
+//   - an immutable NetworkModel snapshot (service mode).
+// Snapshot mode is fully const and touches no shared mutable state, so
+// any number of threads may query the same snapshot-backed Modeler (or
+// per-thread Modelers over the same snapshot) concurrently -- this is the
+// hot path of service::QueryService.  The live modes remain
+// single-threaded: a query concurrent with a poll would observe torn
+// collector state.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 
@@ -29,10 +38,14 @@ class Modeler {
   explicit Modeler(const collector::Collector& collector);
   /// Serves queries from the merged view of cooperating collectors.
   explicit Modeler(const collector::CollectorSet& set);
+  /// Serves queries from an immutable model snapshot (must outlive the
+  /// Modeler).  All queries are const-correct reads of the snapshot.
+  explicit Modeler(const collector::NetworkModel& snapshot);
 
   /// Queries are windowed relative to "now"; by default that is the
   /// newest sample timestamp in the model.  Wire the simulator clock in
-  /// with set_clock for live use.
+  /// with set_clock for live use (or the snapshot's publication-time
+  /// model clock in service mode, so staleness decay keeps advancing).
   void set_clock(std::function<Seconds()> clock);
 
   /// Replaces the kFuture predictor (default: EWMA 0.3).
@@ -47,10 +60,18 @@ class Modeler {
   /// remos_flow_info: resolves a simultaneous three-class flow query
   /// against the logical topology, honoring max-min sharing between the
   /// queried flows and the measured background traffic.
+  ///
+  /// A flow naming a host the model does not know comes back as a
+  /// structured routable=false result -- not an exception -- so one
+  /// mistyped endpoint cannot kill a long-running query session.
+  /// Structurally malformed queries (src == dst, empty query, degenerate
+  /// timeframe) still throw InvalidArgument.
   FlowQueryResult flow_info(const FlowQuery& query) const;
 
   /// Number of queries answered (overhead bookkeeping for the ablation).
-  std::size_t queries_answered() const { return queries_answered_; }
+  std::size_t queries_answered() const {
+    return queries_answered_.load(std::memory_order_relaxed);
+  }
 
  private:
   const collector::NetworkModel& model() const;
@@ -58,10 +79,11 @@ class Modeler {
 
   const collector::Collector* single_ = nullptr;
   const collector::CollectorSet* set_ = nullptr;
+  const collector::NetworkModel* snapshot_ = nullptr;
   mutable collector::NetworkModel merged_cache_;
   std::function<Seconds()> clock_;
   std::unique_ptr<Predictor> predictor_ = make_default_predictor();
-  mutable std::size_t queries_answered_ = 0;
+  mutable std::atomic<std::size_t> queries_answered_{0};
 };
 
 }  // namespace remos::core

@@ -9,8 +9,16 @@
 //               window of the given length.
 //   kFuture  -- expected availability over the given horizon, produced by
 //               a predictor from a trailing window of history.
+//
+// Timeframes are validated both at construction (the factories throw on
+// degenerate durations) and at use (Modeler queries call validate(), so
+// a hand-brace-initialized Timeframe cannot silently produce nonsense
+// statistics from a negative window or an inverted range).
 #pragma once
 
+#include <cmath>
+
+#include "util/error.hpp"
 #include "util/units.hpp"
 
 namespace remos::core {
@@ -27,10 +35,31 @@ struct Timeframe {
   static Timeframe statics() { return {Kind::kStatic, 0, 0}; }
   static Timeframe current() { return {Kind::kCurrent, 0, 0}; }
   static Timeframe history(Seconds window) {
-    return {Kind::kHistory, window, 0};
+    Timeframe t{Kind::kHistory, window, 0};
+    t.validate();
+    return t;
   }
   static Timeframe future(Seconds horizon, Seconds window = 30.0) {
-    return {Kind::kFuture, window, horizon};
+    Timeframe t{Kind::kFuture, window, horizon};
+    t.validate();
+    return t;
+  }
+
+  /// Throws InvalidArgument on degenerate durations: a history or
+  /// prediction window must be a positive finite length, a prediction
+  /// horizon must not be negative, and no field may be NaN.
+  void validate() const {
+    if (std::isnan(window) || std::isnan(horizon))
+      throw InvalidArgument("Timeframe: NaN duration");
+    if (window < 0 || horizon < 0)
+      throw InvalidArgument("Timeframe: negative duration (inverted range)");
+    if (kind == Kind::kHistory || kind == Kind::kFuture) {
+      if (!(window > 0) || std::isinf(window))
+        throw InvalidArgument(
+            "Timeframe: history window must be a positive finite length");
+    }
+    if (kind == Kind::kFuture && std::isinf(horizon))
+      throw InvalidArgument("Timeframe: infinite prediction horizon");
   }
 
   bool operator==(const Timeframe&) const = default;

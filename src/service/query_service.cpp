@@ -1,0 +1,313 @@
+#include "service/query_service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace remos::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_us(Clock::time_point from, Clock::time_point to) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count();
+  return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+}
+
+}  // namespace
+
+const char* to_string(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kAnswered: return "answered";
+    case QueryStatus::kStale: return "stale";
+    case QueryStatus::kOverloaded: return "overloaded";
+    case QueryStatus::kExpired: return "expired";
+    case QueryStatus::kError: return "error";
+  }
+  return "?";
+}
+
+void LatencyHistogram::record(std::uint64_t us) {
+  const std::size_t b =
+      std::min<std::size_t>(std::bit_width(us), kBuckets - 1);
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t LatencyHistogram::quantile_us(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  const double target = q * static_cast<double>(n);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(seen) >= target)
+      return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+  }
+  return std::uint64_t{1} << (kBuckets - 1);
+}
+
+QueryService::QueryService(Options options)
+    : options_(options),
+      admission_({options.queue_capacity}) {
+  if (options_.workers == 0)
+    throw InvalidArgument("QueryService: zero workers");
+  if (options_.default_deadline.count() <= 0)
+    throw InvalidArgument("QueryService: non-positive default deadline");
+  if (options_.staleness_slo < 0)
+    throw InvalidArgument("QueryService: negative staleness SLO");
+  if (options_.poll_interval.count() <= 0)
+    throw InvalidArgument("QueryService: non-positive poll interval");
+}
+
+QueryService::~QueryService() { stop(); }
+
+void QueryService::start() { start(std::function<void()>{}); }
+
+void QueryService::start(std::function<void()> poll_step) {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (started_) throw Error("QueryService: already started");
+    started_ = true;
+    stopping_ = false;
+  }
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  if (poll_step)
+    poller_ = std::thread(
+        [this, step = std::move(poll_step)] { poller_loop(step); });
+}
+
+void QueryService::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  stop_cv_.notify_all();
+  if (poller_.joinable()) poller_.join();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+  // Jobs still queued complete inline; their clients (if any are still
+  // waiting) get real answers, and abandoned ones are skipped.
+  std::deque<std::function<void()>> rest;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    rest.swap(queue_);
+    started_ = false;
+  }
+  for (auto& job : rest) job();
+}
+
+void QueryService::publish(collector::NetworkModel model, Seconds model_now) {
+  store_.publish(std::move(model), model_now);
+  note_model_now(model_now);
+}
+
+void QueryService::note_model_now(Seconds model_now) {
+  double cur = model_now_.load(std::memory_order_relaxed);
+  while (model_now > cur &&
+         !model_now_.compare_exchange_weak(cur, model_now,
+                                           std::memory_order_acq_rel)) {
+  }
+}
+
+void QueryService::count_outcome(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kAnswered:
+      answered_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QueryStatus::kStale:
+      stale_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QueryStatus::kOverloaded:
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QueryStatus::kExpired:
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QueryStatus::kError:
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+template <typename Response, typename Fn>
+void QueryService::run_job(const std::shared_ptr<Pending<Response>>& state,
+                           Fn& execute) {
+  if (state->abandoned.load(std::memory_order_acquire)) {
+    // The caller already returned kExpired; skip the work entirely.
+    admission_.release();
+    return;
+  }
+  Response r;
+  if (Clock::now() >= state->deadline) {
+    r.meta.status = QueryStatus::kExpired;
+  } else {
+    r = execute();
+  }
+  const std::uint64_t us = elapsed_us(state->enqueued, Clock::now());
+  r.meta.latency = std::chrono::microseconds(us);
+  latency_.record(us);
+  admission_.release();
+  state->promise.set_value(std::move(r));
+}
+
+template <typename Response, typename Fn>
+Response QueryService::submit(std::chrono::microseconds deadline_budget,
+                              Fn execute) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const auto enqueued = Clock::now();
+  const auto deadline = enqueued + deadline_budget;
+
+  Response r;
+  if (!admission_.try_acquire()) {
+    r.meta.status = QueryStatus::kOverloaded;
+    count_outcome(r.meta.status);
+    return r;
+  }
+
+  auto state = std::make_shared<Pending<Response>>();
+  state->enqueued = enqueued;
+  state->deadline = deadline;
+  std::future<Response> fut = state->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (stopping_) {
+      admission_.release();
+      r.meta.status = QueryStatus::kError;
+      r.meta.error = "service stopped";
+      count_outcome(r.meta.status);
+      return r;
+    }
+    queue_.emplace_back(
+        [this, state, execute = std::move(execute)]() mutable {
+          run_job(state, execute);
+        });
+  }
+  queue_cv_.notify_one();
+
+  if (fut.wait_until(deadline) == std::future_status::ready) {
+    r = fut.get();
+    count_outcome(r.meta.status);
+    return r;
+  }
+  state->abandoned.store(true, std::memory_order_release);
+  r.meta.status = QueryStatus::kExpired;
+  r.meta.latency = std::chrono::microseconds(elapsed_us(enqueued, Clock::now()));
+  count_outcome(r.meta.status);
+  return r;
+}
+
+template <typename Response, typename Fn>
+Response QueryService::answer(Seconds staleness_budget, Fn&& query_fn) {
+  Response r;
+  const SnapshotStore::Ptr snap = store_.current();
+  if (!snap) {
+    r.meta.status = QueryStatus::kError;
+    r.meta.error = "no snapshot published yet";
+    return r;
+  }
+  const Seconds now = model_now();
+  const Seconds age = std::max(0.0, now - snap->taken_at);
+  r.meta.snapshot_version = snap->version;
+  r.meta.snapshot_age = age;
+  // A fresh Modeler over the immutable snapshot: const queries, no
+  // shared mutable state, nothing to lock.  The clock is pinned to the
+  // model time observed at answer time, so accuracy keeps decaying
+  // (PR 1) as the snapshot ages past its publication.
+  core::Modeler modeler(snap->model);
+  modeler.set_clock([now] { return now; });
+  try {
+    query_fn(modeler, r);
+    r.meta.status =
+        age > staleness_budget ? QueryStatus::kStale : QueryStatus::kAnswered;
+  } catch (const std::exception& e) {
+    r.meta.status = QueryStatus::kError;
+    r.meta.error = e.what();
+  } catch (...) {
+    r.meta.status = QueryStatus::kError;
+    r.meta.error = "unknown error";
+  }
+  return r;
+}
+
+GraphResponse QueryService::get_graph(GraphQuery query) {
+  const auto budget = query.deadline.value_or(options_.default_deadline);
+  const Seconds slo = query.max_staleness.value_or(options_.staleness_slo);
+  return submit<GraphResponse>(
+      budget, [this, q = std::move(query), slo]() {
+        return answer<GraphResponse>(
+            slo, [&q](const core::Modeler& m, GraphResponse& r) {
+              r.graph = m.get_graph(q.nodes, q.timeframe, q.options);
+            });
+      });
+}
+
+FlowInfoResponse QueryService::flow_info(FlowInfoQuery query) {
+  const auto budget = query.deadline.value_or(options_.default_deadline);
+  const Seconds slo = query.max_staleness.value_or(options_.staleness_slo);
+  return submit<FlowInfoResponse>(
+      budget, [this, q = std::move(query), slo]() {
+        return answer<FlowInfoResponse>(
+            slo, [&q](const core::Modeler& m, FlowInfoResponse& r) {
+              r.result = m.flow_info(q.query);
+            });
+      });
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.answered = answered_.load(std::memory_order_relaxed);
+  s.stale = stale_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.polls = polls_.load(std::memory_order_relaxed);
+  s.snapshot_version = store_.version();
+  s.in_flight_high_water = admission_.high_water();
+  s.p50_us = latency_.quantile_us(0.50);
+  s.p99_us = latency_.quantile_us(0.99);
+  return s;
+}
+
+void QueryService::worker_loop() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      queue_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void QueryService::poller_loop(std::function<void()> poll_step) {
+  while (true) {
+    poll_step();
+    polls_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lk(mutex_);
+    if (stop_cv_.wait_for(lk, options_.poll_interval,
+                          [this] { return stopping_; }))
+      return;
+  }
+}
+
+}  // namespace remos::service

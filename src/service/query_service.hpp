@@ -1,0 +1,239 @@
+// Concurrent Remos query service (the serving layer in front of the
+// Modeler).
+//
+// The paper positions the Modeler as a long-lived session many
+// network-aware applications query concurrently (§3, §5), but the Modeler
+// itself is a single-threaded library: a query issued mid-poll would
+// observe torn collector state.  The QueryService is the serving skeleton
+// that makes concurrent use safe and bounded:
+//
+//   poller thread ──> publishes immutable versioned ModelSnapshots
+//                     (SnapshotStore: pointer swap under a tiny spinlock)
+//   client threads ─> admission control (bounded in-flight count)
+//                     ──> work queue ──> worker pool answers against the
+//                     snapshot current at execution time
+//
+// Serving guarantees:
+//   - No contended locking on the answer hot path: a worker picks up the
+//     current snapshot (a refcount bump under the store's spinlock) and
+//     runs const Modeler queries against that immutable copy.
+//   - Every query carries a wall-clock deadline.  The caller always gets
+//     a structured response by its deadline -- kAnswered, kStale,
+//     kOverloaded, kExpired or kError; never a hang, and never an
+//     exception across the API boundary.
+//   - Staleness SLO: if the freshest snapshot is older (on the model
+//     clock) than the query's staleness budget, the answer is served
+//     anyway -- with PR 1's decayed accuracy, since the snapshot clock
+//     keeps advancing -- and flagged kStale instead of kAnswered.
+//   - Overload shedding: when the bounded queue is full, excess queries
+//     are shed immediately with kOverloaded, so admitted-query latency
+//     stays bounded by queue depth x per-query cost at any offered load.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/flows.hpp"
+#include "core/graph.hpp"
+#include "core/logical.hpp"
+#include "core/modeler.hpp"
+#include "service/admission.hpp"
+#include "service/snapshot_store.hpp"
+
+namespace remos::service {
+
+/// Outcome of one query, as seen by the caller.
+enum class QueryStatus {
+  kAnswered,    // served from a snapshot within the staleness budget
+  kStale,       // served, but the freshest snapshot exceeded the budget
+  kOverloaded,  // shed at admission: the bounded queue was full
+  kExpired,     // the deadline passed before a worker could answer
+  kError,       // malformed query (structured; the service stays up)
+};
+
+const char* to_string(QueryStatus status);
+
+/// Approximate latency distribution: power-of-two microsecond buckets,
+/// lock-free to record.  Quantiles report the bucket's upper bound, so
+/// they are conservative within a factor of two.
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t us);
+  std::uint64_t count() const;
+  /// Upper-bound estimate of the q-quantile (q in [0,1]) in microseconds.
+  std::uint64_t quantile_us(double q) const;
+
+ private:
+  static constexpr std::size_t kBuckets = 40;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+struct GraphQuery {
+  std::vector<std::string> nodes;
+  core::Timeframe timeframe = core::Timeframe::current();
+  core::LogicalOptions options;
+  /// Wall-clock answer budget; service default when unset.
+  std::optional<std::chrono::microseconds> deadline;
+  /// Model-clock staleness budget; service SLO when unset.
+  std::optional<Seconds> max_staleness;
+};
+
+struct FlowInfoQuery {
+  core::FlowQuery query;
+  std::optional<std::chrono::microseconds> deadline;
+  std::optional<Seconds> max_staleness;
+};
+
+struct ResponseMeta {
+  QueryStatus status = QueryStatus::kError;
+  /// Version of the snapshot that answered (0 when none was consulted).
+  std::uint64_t snapshot_version = 0;
+  /// Age of that snapshot on the model clock at answer time.
+  Seconds snapshot_age = 0;
+  /// Wall-clock time from submission to response.
+  std::chrono::microseconds latency{0};
+  std::string error;
+
+  /// True when a payload was produced (kAnswered or kStale).
+  bool ok() const {
+    return status == QueryStatus::kAnswered || status == QueryStatus::kStale;
+  }
+};
+
+struct GraphResponse {
+  ResponseMeta meta;
+  core::NetworkGraph graph;  // valid when meta.ok()
+};
+
+struct FlowInfoResponse {
+  ResponseMeta meta;
+  core::FlowQueryResult result;  // valid when meta.ok()
+};
+
+/// Monitoring snapshot.  submitted == answered + stale + shed + expired +
+/// errors once the service is idle (counts are client-visible outcomes).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t stale = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t snapshot_version = 0;
+  std::size_t in_flight_high_water = 0;
+  /// Service-side completion latency quantiles (executed queries only).
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+};
+
+class QueryService {
+ public:
+  struct Options {
+    /// Worker threads answering queries.
+    std::size_t workers = 4;
+    /// Admission bound: queries in flight (queued + executing) beyond
+    /// this are shed with kOverloaded.
+    std::size_t queue_capacity = 64;
+    /// Deadline for queries that do not carry their own.
+    std::chrono::microseconds default_deadline{100'000};
+    /// Staleness SLO for queries that do not carry their own: answers
+    /// from snapshots older than this (model clock) are flagged kStale.
+    Seconds staleness_slo = 10.0;
+    /// Wall-clock pacing between background poll steps.
+    std::chrono::microseconds poll_interval{2'000};
+  };
+
+  explicit QueryService(Options options);
+  QueryService() : QueryService(Options{}) {}
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Starts the worker pool.  With `poll_step`, also starts a background
+  /// poller thread that invokes it every poll_interval until stop() --
+  /// the step typically drives CollectorSet::poll_all / the simulator one
+  /// period and publishes a fresh snapshot (see CmuHarness::serve).
+  void start();
+  void start(std::function<void()> poll_step);
+  void stop();
+
+  /// Publishes an immutable snapshot; callable from the poll step (via
+  /// collector hooks) or directly from tests.
+  void publish(collector::NetworkModel model, Seconds model_now);
+
+  /// Advances the service's model clock without publishing (a poll round
+  /// that yielded nothing new still ages the snapshots).
+  void note_model_now(Seconds model_now);
+  Seconds model_now() const {
+    return model_now_.load(std::memory_order_acquire);
+  }
+
+  /// Synchronous query entry points, callable from any thread.  Always
+  /// return by the query's deadline; never throw.
+  GraphResponse get_graph(GraphQuery query);
+  FlowInfoResponse flow_info(FlowInfoQuery query);
+
+  const SnapshotStore& snapshots() const { return store_; }
+  const AdmissionController& admission() const { return admission_; }
+  const Options& options() const { return options_; }
+  ServiceStats stats() const;
+
+ private:
+  template <typename Response>
+  struct Pending {
+    std::promise<Response> promise;
+    std::atomic<bool> abandoned{false};
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  template <typename Response, typename Fn>
+  Response submit(std::chrono::microseconds deadline_budget, Fn execute);
+  template <typename Response, typename Fn>
+  void run_job(const std::shared_ptr<Pending<Response>>& state, Fn& execute);
+  template <typename Response, typename Fn>
+  Response answer(Seconds staleness_budget, Fn&& query_fn);
+  void count_outcome(QueryStatus status);
+
+  void worker_loop();
+  void poller_loop(std::function<void()> poll_step);
+
+  Options options_;
+  SnapshotStore store_;
+  AdmissionController admission_;
+  std::atomic<double> model_now_{0.0};
+
+  std::mutex mutex_;  // guards queue_, stopping_, started_
+  std::condition_variable queue_cv_;
+  std::condition_variable stop_cv_;  // wakes the poller's pacing sleep
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::vector<std::thread> workers_;
+  std::thread poller_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> answered_{0};
+  std::atomic<std::uint64_t> stale_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> polls_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace remos::service

@@ -1,6 +1,8 @@
 // End-to-end Modeler tests: simulator -> SNMP -> collector -> queries.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "apps/harness.hpp"
 #include "core/remos_api.hpp"
 #include "netsim/traffic.hpp"
@@ -287,6 +289,125 @@ TEST(ModelerFigure1, NodeInternalBandwidthGovernsAggregate) {
       EXPECT_NEAR(total, mbps(10), mbps(1));  // switch nodes limit
     }
   }
+}
+
+// --- Structured not-found answers (a bad query must not kill a session) ---
+
+/// Tiny host--router--host model for snapshot-mode Modeler tests.
+collector::NetworkModel tiny_model() {
+  collector::NetworkModel m;
+  m.upsert_node("a", false);
+  m.upsert_node("b", false);
+  m.upsert_node("r", true);
+  m.upsert_link("a", "r", mbps(100), millis(0.2));
+  m.upsert_link("r", "b", mbps(100), millis(0.2));
+  for (collector::ModelLink& l : m.links()) {
+    l.last_update = 1.0;
+    l.history.record({1.0, mbps(10), mbps(5)});
+  }
+  return m;
+}
+
+TEST(FlowInfoNotFound, UnknownHostYieldsRoutableFalseNotThrow) {
+  const collector::NetworkModel m = tiny_model();
+  const Modeler modeler(m);
+  FlowQuery q;
+  q.fixed = {FlowRequest{"a", "ghost", mbps(5)}};
+  FlowQueryResult r;
+  ASSERT_NO_THROW(r = modeler.flow_info(q));
+  ASSERT_EQ(r.fixed.size(), 1u);
+  EXPECT_FALSE(r.fixed[0].routable);
+  EXPECT_FALSE(r.fixed[0].satisfied);
+}
+
+TEST(FlowInfoNotFound, KnownFlowsStillAnsweredNextToUnknownOnes) {
+  const collector::NetworkModel m = tiny_model();
+  const Modeler modeler(m);
+  FlowQuery q;
+  q.fixed = {FlowRequest{"a", "b", mbps(5)},
+             FlowRequest{"nowhere", "b", mbps(5)}};
+  q.variable = {FlowRequest{"a", "phantom", 1}};
+  const FlowQueryResult r = modeler.flow_info(q);
+  EXPECT_TRUE(r.fixed[0].routable);
+  EXPECT_TRUE(r.fixed[0].satisfied);
+  EXPECT_FALSE(r.fixed[1].routable);
+  EXPECT_FALSE(r.variable[0].routable);
+}
+
+TEST(FlowInfoNotFound, MulticastUnknownReceiverYieldsRoutableFalse) {
+  const collector::NetworkModel m = tiny_model();
+  const Modeler modeler(m);
+  FlowQuery q;
+  q.multicast = {MulticastRequest{"a", {"b", "ghost"}, mbps(2)}};
+  const FlowQueryResult r = modeler.flow_info(q);
+  ASSERT_EQ(r.multicast.size(), 1u);
+  EXPECT_FALSE(r.multicast[0].routable);
+}
+
+TEST(FlowInfoNotFound, AllEndpointsUnknownStillStructured) {
+  const collector::NetworkModel m = tiny_model();
+  const Modeler modeler(m);
+  FlowQuery q;
+  q.fixed = {FlowRequest{"x", "y", mbps(5)}};
+  const FlowQueryResult r = modeler.flow_info(q);
+  EXPECT_FALSE(r.fixed[0].routable);
+}
+
+TEST(FlowInfoNotFound, StructurallyMalformedQueriesStillThrow) {
+  const collector::NetworkModel m = tiny_model();
+  const Modeler modeler(m);
+  FlowQuery empty;
+  EXPECT_THROW(modeler.flow_info(empty), InvalidArgument);
+  FlowQuery self;
+  self.fixed = {FlowRequest{"a", "a", mbps(1)}};
+  EXPECT_THROW(modeler.flow_info(self), InvalidArgument);
+}
+
+// --- Timeframe validation (degenerate durations must not silently
+// produce nonsense statistics) ---
+
+TEST(TimeframeValidation, FactoriesRejectDegenerateDurations) {
+  EXPECT_THROW(Timeframe::history(0), InvalidArgument);
+  EXPECT_THROW(Timeframe::history(-5.0), InvalidArgument);
+  EXPECT_THROW(Timeframe::future(10.0, 0), InvalidArgument);
+  EXPECT_THROW(Timeframe::future(10.0, -1.0), InvalidArgument);
+  EXPECT_THROW(Timeframe::future(-1.0), InvalidArgument);
+  EXPECT_NO_THROW(Timeframe::history(30.0));
+  EXPECT_NO_THROW(Timeframe::future(10.0));
+  EXPECT_NO_THROW(Timeframe::current());
+  EXPECT_NO_THROW(Timeframe::statics());
+}
+
+TEST(TimeframeValidation, HandBuiltTimeframesAreValidatedAtUse) {
+  const collector::NetworkModel m = tiny_model();
+  const Modeler modeler(m);
+  Timeframe inverted;  // negative window = an inverted history range
+  inverted.kind = Timeframe::Kind::kHistory;
+  inverted.window = -30.0;
+  EXPECT_THROW(modeler.get_graph({"a", "b"}, inverted), InvalidArgument);
+
+  Timeframe nan_frame;
+  nan_frame.kind = Timeframe::Kind::kFuture;
+  nan_frame.window = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(modeler.get_graph({"a", "b"}, nan_frame), InvalidArgument);
+
+  FlowQuery q;
+  q.fixed = {FlowRequest{"a", "b", mbps(1)}};
+  q.timeframe.kind = Timeframe::Kind::kHistory;
+  q.timeframe.window = 0;
+  EXPECT_THROW(modeler.flow_info(q), InvalidArgument);
+}
+
+TEST(TimeframeValidation, SnapshotModelerMatchesLiveModeler) {
+  // Snapshot mode answers the same query the same way a live collector
+  // does -- the service layer depends on this equivalence.
+  const collector::NetworkModel m = tiny_model();
+  const Modeler snap(m);
+  const NetworkGraph g = snap.get_graph({"a", "b"}, Timeframe::current());
+  EXPECT_TRUE(g.has_node("a"));
+  EXPECT_TRUE(g.has_node("b"));
+  ASSERT_GE(g.link_count(), 1u);
+  EXPECT_EQ(snap.queries_answered(), 1u);
 }
 
 }  // namespace
