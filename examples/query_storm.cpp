@@ -102,6 +102,14 @@ int main() {
     });
   }
   for (std::thread& t : clients) t.join();
+
+  // One traced query before shutdown: the span tree shows where a single
+  // answer spent its budget.
+  service::GraphQuery traced;
+  traced.nodes = {harness.hosts()[0], harness.hosts()[5]};
+  traced.trace = true;
+  const service::GraphResponse traced_r =
+      service->get_graph(std::move(traced));
   service->stop();
 
   const service::ServiceStats stats = service->stats();
@@ -127,5 +135,22 @@ int main() {
     std::cout << "  t=" << pad_left(fixed(t.at, 0), 3) << "s  " << t.router
               << ": " << to_string(t.from) << " -> " << to_string(t.to)
               << "\n";
+
+  // Where one answer spent its budget (admission -> snapshot pickup ->
+  // logical build / route resolution / max-min solve).
+  std::cout << "\none traced query ("
+            << to_string(traced_r.meta.status) << "):\n"
+            << traced_r.meta.trace.render();
+
+  // The flight recorder's retained window: breaker trips, health
+  // transitions, snapshot publishes and shed episodes, in order.
+  std::cout << "\nflight recorder (most recent "
+            << harness.recorder().dump().size() << " of "
+            << harness.recorder().total() << " events):\n"
+            << harness.recorder().dump_text();
+
+  // The full metrics exposition, scrape-ready; CI parses this block.
+  std::cout << "\n--- metrics ---\n"
+            << harness.metrics().render() << "--- end metrics ---\n";
   return 0;
 }

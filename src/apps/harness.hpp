@@ -17,6 +17,7 @@
 #include "core/modeler.hpp"
 #include "netsim/simulator.hpp"
 #include "netsim/testbeds.hpp"
+#include "obs/obs.hpp"
 #include "service/query_service.hpp"
 #include "snmp/agent.hpp"
 #include "snmp/fault_injector.hpp"
@@ -40,6 +41,10 @@ class CmuHarness {
     /// Collector policy (retry budgets, circuit breaker, plausibility
     /// margins) -- chaos experiments tighten these.
     collector::SnmpCollector::Options collector;
+    /// Wire the deployment-wide observability bundle (metrics registry +
+    /// flight recorder) through every plane.  Off leaves every sink a
+    /// no-op -- the baseline for overhead benchmarks.
+    bool wire_obs = true;
   };
 
   explicit CmuHarness(Options options);
@@ -53,6 +58,13 @@ class CmuHarness {
   collector::SnmpCollector& collector() { return collector_; }
   const core::Modeler& modeler() const { return modeler_; }
   core::Modeler& modeler() { return modeler_; }
+
+  /// The deployment-wide observability bundle.  All planes record into
+  /// it when Options::wire_obs (the default); metrics().render() yields
+  /// the Prometheus-style exposition at any time.
+  obs::Observability& observability() { return obs_; }
+  obs::MetricsRegistry& metrics() { return obs_.metrics; }
+  obs::FlightRecorder& recorder() { return obs_.recorder; }
 
   /// Host names (m-1..m-8).
   const std::vector<std::string>& hosts() const;
@@ -79,6 +91,11 @@ class CmuHarness {
 
  private:
   Seconds poll_period_;
+  bool wire_obs_;
+  // Declared before the components that hold handles into it, so the
+  // registry cells outlive every handle.
+  obs::Observability obs_;
+  core::ModelerObs modeler_obs_;
   netsim::Simulator sim_;
   snmp::Transport transport_;
   snmp::FaultInjector injector_;

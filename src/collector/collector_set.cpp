@@ -1,10 +1,27 @@
 #include "collector/collector_set.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/error.hpp"
 
 namespace remos::collector {
+
+void CollectorSet::set_obs(const obs::Obs& o) {
+  if (o.metrics) {
+    rounds_counter_ =
+        o.metrics->counter("remos_collectorset_poll_rounds_total", {},
+                           "Cooperating-collector poll rounds completed");
+    round_errors_counter_ = o.metrics->counter(
+        "remos_collectorset_poll_errors_total", {},
+        "Collectors skipped in a round because poll() threw");
+    merge_duration_ = o.metrics->histogram(
+        "remos_collectorset_merge_duration_seconds",
+        obs::default_time_buckets(), {},
+        "Wall-clock duration of one merged-view rebuild");
+  }
+  recorder_ = o.recorder;
+}
 
 void CollectorSet::add(Collector& collector) {
   for (const Collector* c : collectors_)
@@ -21,13 +38,25 @@ void CollectorSet::poll_all() {
   for (Collector* c : collectors_) {
     try {
       c->poll();
-    } catch (const Error&) {
+    } catch (const Error& e) {
       // A degraded collector keeps its prior model; the merged view
       // simply prefers its healthier peers until it recovers.
       ++poll_errors_;
+      round_errors_counter_.inc();
+      if (recorder_)
+        recorder_->record(obs::EventSeverity::kWarn, "collector",
+                          "poll_skipped", e.what());
     }
   }
-  if (publish_hook_) publish_hook_(merged());
+  rounds_counter_.inc();
+  if (publish_hook_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    NetworkModel view = merged();
+    merge_duration_.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    publish_hook_(std::move(view));
+  }
 }
 
 NetworkModel CollectorSet::merged() const {

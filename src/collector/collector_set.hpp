@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "collector/collector.hpp"
+#include "obs/obs.hpp"
 
 namespace remos::collector {
 
@@ -38,6 +39,10 @@ class CollectorSet {
   /// Poll rounds in which some collector threw.
   std::size_t poll_errors() const { return poll_errors_; }
 
+  /// Wires round counters and skipped-collector events into the set
+  /// (individual collectors are wired separately via their own set_obs).
+  void set_obs(const obs::Obs& o);
+
   /// Installs (or clears, with nullptr) the per-round publication hook.
   void set_publish_hook(PublishHook hook) { publish_hook_ = std::move(hook); }
 
@@ -50,6 +55,10 @@ class CollectorSet {
   std::vector<Collector*> collectors_;
   std::size_t poll_errors_ = 0;
   PublishHook publish_hook_;
+  obs::Counter rounds_counter_;
+  obs::Counter round_errors_counter_;
+  obs::Histogram merge_duration_;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace remos::collector

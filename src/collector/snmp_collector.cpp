@@ -1,5 +1,7 @@
 #include "collector/snmp_collector.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <deque>
 
 #include "snmp/mib2.hpp"
@@ -20,15 +22,6 @@ std::uint32_t counter_delta(std::uint32_t now, std::uint32_t before) {
 }
 }  // namespace
 
-const char* to_string(AgentHealth h) {
-  switch (h) {
-    case AgentHealth::kHealthy: return "healthy";
-    case AgentHealth::kDegraded: return "degraded";
-    case AgentHealth::kUnreachable: return "unreachable";
-  }
-  return "?";
-}
-
 SnmpCollector::SnmpCollector(snmp::Transport& transport,
                              std::vector<std::string> seed_routers,
                              Options options)
@@ -46,7 +39,54 @@ SnmpCollector::SnmpCollector(snmp::Transport& transport,
 
 snmp::Client SnmpCollector::make_client(const std::string& node) {
   return snmp::Client(*transport_, snmp::agent_address(node),
-                      options_.community, options_.client, &breakers_);
+                      options_.community, options_.client, &breakers_,
+                      &client_obs_);
+}
+
+void SnmpCollector::set_obs(const obs::Obs& o) {
+  obs_ = o;
+  client_obs_ = snmp::ClientObs::resolve(o);
+  breakers_.set_obs(o);
+  if (o.metrics) {
+    polls_counter_ = o.metrics->counter("remos_collector_polls_total", {},
+                                        "Collector poll rounds completed");
+    partial_polls_counter_ = o.metrics->counter(
+        "remos_collector_partial_polls_total", {},
+        "Polls that lost some interfaces but kept the rest");
+    poll_failures_counter_ = o.metrics->counter(
+        "remos_collector_poll_failures_total", {},
+        "Per-router polls that failed outright");
+    implausible_counter_ = o.metrics->counter(
+        "remos_collector_implausible_deltas_total", {},
+        "Counter samples discarded as implausible");
+    poll_duration_ = o.metrics->histogram(
+        "remos_collector_poll_duration_seconds",
+        obs::default_time_buckets(), {},
+        "Wall-clock duration of one poll round");
+    unreachable_gauge_ =
+        o.metrics->gauge("remos_collector_unreachable_agents", {},
+                         "Agents that failed during the last operation");
+    staleness_gauge_ = o.metrics->gauge(
+        "remos_collector_staleness_seconds", {},
+        "Model-clock age of the freshest link confirmation");
+    // Health gauges for routers already known (newly met routers are
+    // added lazily by set_health).
+    for (const auto& [router, st] : router_state_)
+      health_gauge(router).set(static_cast<double>(st.health));
+  }
+}
+
+obs::Gauge& SnmpCollector::health_gauge(const std::string& router) {
+  auto it = health_gauges_.find(router);
+  if (it == health_gauges_.end()) {
+    obs::Gauge g;
+    if (obs_.metrics)
+      g = obs_.metrics->gauge(
+          "remos_collector_router_health", {{"router", router}},
+          "Per-router agent health (0 healthy, 1 degraded, 2 unreachable)");
+    it = health_gauges_.emplace(router, g).first;
+  }
+  return it->second;
 }
 
 Seconds SnmpCollector::sample_time(std::uint32_t uptime_ticks) const {
@@ -72,7 +112,16 @@ void SnmpCollector::set_health(const std::string& router, AgentHealth to) {
   if (st.health == to) return;
   health_log_.push_back(
       HealthTransition{transport_->now(), router, st.health, to});
+  if (obs_.recorder)
+    obs_.recorder->record(to == AgentHealth::kHealthy
+                              ? obs::EventSeverity::kInfo
+                              : obs::EventSeverity::kWarn,
+                          "collector", "health_transition",
+                          router + ": " + obs::to_string(st.health) +
+                              " -> " + obs::to_string(to),
+                          transport_->now());
   st.health = to;
+  health_gauge(router).set(static_cast<double>(to));
 }
 
 void SnmpCollector::note_poll_result(const std::string& router,
@@ -85,6 +134,7 @@ void SnmpCollector::note_poll_result(const std::string& router,
   RouterState& st = router_state_[router];
   st.consecutive_failures = 0;  // the agent answered something
   st.last_success = transport_->now();
+  if (failed > 0) partial_polls_counter_.inc();
   set_health(router, failed == 0 ? AgentHealth::kHealthy
                                  : AgentHealth::kDegraded);
 }
@@ -92,6 +142,7 @@ void SnmpCollector::note_poll_result(const std::string& router,
 void SnmpCollector::note_poll_failure(const std::string& router) {
   RouterState& st = router_state_[router];
   ++st.consecutive_failures;
+  poll_failures_counter_.inc();
   set_health(router,
              st.consecutive_failures >= options_.unreachable_after
                  ? AgentHealth::kUnreachable
@@ -213,6 +264,7 @@ std::vector<std::string> SnmpCollector::ingest_router(
 }
 
 void SnmpCollector::poll() {
+  const auto poll_start = std::chrono::steady_clock::now();
   unreachable_ = 0;
   // Second-chance discovery for routers that were unreachable earlier.
   for (auto it = pending_routers_.begin(); it != pending_routers_.end();) {
@@ -245,6 +297,14 @@ void SnmpCollector::poll() {
       ++unreachable_;
     }
   }
+  polls_counter_.inc();
+  poll_duration_.observe(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - poll_start)
+                             .count());
+  unreachable_gauge_.set(static_cast<double>(unreachable_));
+  const Seconds freshest = freshest_sample();
+  if (freshest > -1e18)
+    staleness_gauge_.set(std::max(0.0, transport_->now() - freshest));
 }
 
 void SnmpCollector::poll_host(const std::string& name) {
@@ -302,6 +362,7 @@ std::pair<std::size_t, std::size_t> SnmpCollector::poll_router(
       // zeroed.  The delta against pre-restart values is meaningless, so
       // re-arm the baseline and take no sample this round.
       ++implausible_deltas_;
+      implausible_counter_.inc();
     } else if (prev.valid && uptime != prev.uptime_ticks) {
       const double dt =
           static_cast<double>(counter_delta(uptime, prev.uptime_ticks)) /
@@ -332,6 +393,7 @@ std::pair<std::size_t, std::size_t> SnmpCollector::poll_router(
         link->history.record(s);
       } else {
         ++implausible_deltas_;
+        implausible_counter_.inc();
       }
     }
     prev.in_octets = in_now;

@@ -33,15 +33,17 @@
 #include <vector>
 
 #include "collector/collector.hpp"
+#include "obs/obs.hpp"
 #include "snmp/client.hpp"
 #include "snmp/transport.hpp"
 
 namespace remos::collector {
 
-/// Per-router agent health as seen by the collector.
-enum class AgentHealth { kHealthy, kDegraded, kUnreachable };
+/// Per-router agent health as seen by the collector (shared vocabulary;
+/// see obs/status.hpp).
+using AgentHealth = obs::AgentHealth;
 
-const char* to_string(AgentHealth h);
+inline const char* to_string(AgentHealth h) { return obs::to_string(h); }
 
 /// One edge of a router's health state machine, for audit and display.
 struct HealthTransition {
@@ -99,6 +101,12 @@ class SnmpCollector : public Collector {
   /// Counter samples discarded as implausible since construction.
   std::uint64_t implausible_deltas() const { return implausible_deltas_; }
 
+  /// Wires metrics and flight-recorder events into this collector, its
+  /// breaker board and every SNMP client it creates: poll duration and
+  /// partial-poll counters, a per-router health gauge, model staleness,
+  /// and health-transition events.  Call before polling starts.
+  void set_obs(const obs::Obs& o);
+
  private:
   struct CounterState {
     std::uint32_t in_octets = 0;
@@ -114,6 +122,8 @@ class SnmpCollector : public Collector {
   };
 
   snmp::Client make_client(const std::string& node);
+  /// Lazily-resolved per-router health gauge (no-op without a registry).
+  obs::Gauge& health_gauge(const std::string& router);
   /// Collector-side timestamp for samples taken with agent uptime
   /// `uptime_ticks`: the transport clock when one is wired (immune to
   /// agent reboots), else the agent's own uptime.
@@ -147,6 +157,18 @@ class SnmpCollector : public Collector {
   std::vector<HealthTransition> health_log_;
   std::size_t unreachable_ = 0;
   std::uint64_t implausible_deltas_ = 0;
+
+  // Observability (no-op sinks until set_obs).
+  obs::Obs obs_;
+  snmp::ClientObs client_obs_;
+  obs::Counter polls_counter_;
+  obs::Counter partial_polls_counter_;
+  obs::Counter poll_failures_counter_;
+  obs::Counter implausible_counter_;
+  obs::Histogram poll_duration_;
+  obs::Gauge unreachable_gauge_;
+  obs::Gauge staleness_gauge_;
+  std::map<std::string, obs::Gauge> health_gauges_;
 };
 
 }  // namespace remos::collector

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <limits>
 #include <set>
 
@@ -9,6 +10,28 @@
 #include "util/error.hpp"
 
 namespace remos::core {
+
+ModelerObs ModelerObs::resolve(const obs::Obs& o) {
+  ModelerObs m;
+  if (o.metrics) {
+    m.graph_queries =
+        o.metrics->counter("remos_modeler_graph_queries_total", {},
+                           "Logical-topology queries answered");
+    m.flow_queries = o.metrics->counter(
+        "remos_modeler_flow_queries_total", {}, "Flow queries answered");
+    m.partial_graphs = o.metrics->counter(
+        "remos_modeler_partial_graphs_total", {},
+        "Graph answers that dropped unknown nodes (partial results)");
+    m.unroutable_flows = o.metrics->counter(
+        "remos_modeler_unroutable_flows_total", {},
+        "Flow results returned with routable=false");
+    m.solve_duration = o.metrics->histogram(
+        "remos_modeler_solve_duration_seconds",
+        obs::default_time_buckets(), {},
+        "Max-min scenario sweep duration per flow query");
+  }
+  return m;
+}
 
 Modeler::Modeler(const collector::Collector& collector)
     : single_(&collector) {}
@@ -42,14 +65,63 @@ Seconds Modeler::now(const collector::NetworkModel& m) const {
   return newest;
 }
 
+GraphResult Modeler::get_graph_result(const std::vector<std::string>& nodes,
+                                      const Timeframe& timeframe,
+                                      const LogicalOptions& options) const {
+  GraphResult out;
+  if (obs_) obs_->graph_queries.inc();
+  try {
+    timeframe.validate();
+  } catch (const std::exception& e) {
+    out.status = obs::GraphStatus::kInvalid;
+    out.error = e.what();
+    return out;
+  }
+  queries_answered_.fetch_add(1, std::memory_order_relaxed);
+  const collector::NetworkModel& m = model();
+
+  // Partition the queried names so one typo degrades the answer instead
+  // of aborting it.
+  std::vector<std::string> known;
+  known.reserve(nodes.size());
+  for (const std::string& n : nodes) {
+    if (m.has_node(n))
+      known.push_back(n);
+    else
+      out.unknown_nodes.push_back(n);
+  }
+  if (!nodes.empty() && known.empty()) {
+    out.status = obs::GraphStatus::kUnresolved;
+    return out;
+  }
+
+  {
+    obs::TraceBuilder::Scoped span(trace_, "logical_build");
+    try {
+      out.graph = build_logical_graph(m, known, timeframe, now(m),
+                                      *predictor_, options);
+    } catch (const std::exception& e) {
+      out.status = obs::GraphStatus::kInvalid;
+      out.error = e.what();
+      out.graph = NetworkGraph{};
+      return out;
+    }
+  }
+  if (!out.unknown_nodes.empty()) {
+    out.status = obs::GraphStatus::kPartial;
+    if (obs_) obs_->partial_graphs.inc();
+  }
+  return out;
+}
+
 NetworkGraph Modeler::get_graph(const std::vector<std::string>& nodes,
                                 const Timeframe& timeframe,
                                 const LogicalOptions& options) const {
-  timeframe.validate();
-  queries_answered_.fetch_add(1, std::memory_order_relaxed);
-  const collector::NetworkModel& m = model();
-  return build_logical_graph(m, nodes, timeframe, now(m), *predictor_,
-                             options);
+  GraphResult r = get_graph_result(nodes, timeframe, options);
+  if (r.status == obs::GraphStatus::kInvalid) throw InvalidArgument(r.error);
+  if (!r.unknown_nodes.empty())
+    throw NotFoundError("get_graph: unknown node " + r.unknown_nodes.front());
+  return std::move(r.graph);
 }
 
 namespace {
@@ -82,6 +154,7 @@ double used_at(const Measurement& used, std::size_t scenario) {
 FlowQueryResult Modeler::flow_info(const FlowQuery& query) const {
   query.timeframe.validate();
   queries_answered_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_) obs_->flow_queries.inc();
   // Endpoint set -> logical graph for the query's timeframe.
   std::vector<const FlowRequest*> all;
   for (const FlowRequest& f : query.fixed) all.push_back(&f);
@@ -119,11 +192,15 @@ FlowQueryResult Modeler::flow_info(const FlowQuery& query) const {
     return known.contains(f.src) && known.contains(f.dst);
   };
   const std::vector<std::string> endpoints(known.begin(), known.end());
-  queries_answered_.fetch_add(1, std::memory_order_relaxed);
   NetworkGraph graph;
-  if (!endpoints.empty())
-    graph = build_logical_graph(m, endpoints, query.timeframe, now(m),
-                                *predictor_, LogicalOptions{});
+  {
+    // The embedded topology lookup counts as a graph query of its own.
+    queries_answered_.fetch_add(1, std::memory_order_relaxed);
+    obs::TraceBuilder::Scoped span(trace_, "logical_build");
+    if (!endpoints.empty())
+      graph = build_logical_graph(m, endpoints, query.timeframe, now(m),
+                                  *predictor_, LogicalOptions{});
+  }
 
   // Resource table over the logical graph: two directed resources per
   // link, then one per node with a known internal bandwidth.
@@ -147,6 +224,8 @@ FlowQueryResult Modeler::flow_info(const FlowQuery& query) const {
   }
 
   // Route every flow once.
+  const std::size_t route_span =
+      trace_ ? trace_->open("route_resolution") : 0;
   std::vector<RoutedFlow> routed(all.size());
   for (std::size_t i = 0; i < all.size(); ++i) {
     RoutedFlow& rf = routed[i];
@@ -229,8 +308,12 @@ FlowQueryResult Modeler::flow_info(const FlowQuery& query) const {
     }
     rm.resources.assign(union_resources.begin(), union_resources.end());
   }
+  if (trace_) trace_->close(route_span);
 
   // Evaluate the staged allocation under each background scenario.
+  const std::size_t solve_span =
+      trace_ ? trace_->open("maxmin_solve") : 0;
+  const auto solve_t0 = std::chrono::steady_clock::now();
   constexpr std::size_t kScenarios = 5;
   std::vector<std::array<double, kScenarios>> grants(
       all.size(), std::array<double, kScenarios>{});
@@ -314,13 +397,24 @@ FlowQueryResult Modeler::flow_info(const FlowQuery& query) const {
     }
   }
 
+  if (obs_)
+    obs_->solve_duration.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      solve_t0)
+            .count());
+  if (trace_) trace_->close(solve_span);
+
   // Assemble results: quartiles across scenarios (scenario 0 = least
   // background usage = highest grant, so reverse into ascending order).
+  obs::TraceBuilder::Scoped assemble_span(trace_, "assemble");
   auto to_result = [&](std::size_t i) {
     FlowResult out;
     out.request = *all[i];
     out.routable = routed[i].routable;
-    if (!routed[i].routable) return out;
+    if (!routed[i].routable) {
+      if (obs_) obs_->unroutable_flows.inc();
+      return out;
+    }
     std::vector<double> g(grants[i].begin(), grants[i].end());
     out.bandwidth = Measurement::from_samples(g);
     out.bandwidth.samples = routed[i].min_samples ==
@@ -340,6 +434,7 @@ FlowQueryResult Modeler::flow_info(const FlowQuery& query) const {
     MulticastResult out;
     out.request = query.multicast[i];
     out.routable = routed_mc[i].routable;
+    if (!out.routable && obs_) obs_->unroutable_flows.inc();
     if (out.routable) {
       std::vector<double> g(mc_grants[i].begin(), mc_grants[i].end());
       out.bandwidth = Measurement::from_samples(g);

@@ -29,8 +29,45 @@
 #include "core/graph.hpp"
 #include "core/logical.hpp"
 #include "core/predictor.hpp"
+#include "obs/obs.hpp"
 
 namespace remos::core {
+
+/// Structured outcome of a topology query (the non-throwing API).
+/// Unknown endpoints no longer abort the query: the graph is built over
+/// the nodes the model does know and the rest are reported by name, so
+/// one mistyped host cannot kill a long-running session (mirrors
+/// FlowResult::routable for flow queries).
+struct GraphResult {
+  obs::GraphStatus status = obs::GraphStatus::kOk;
+  /// The annotated logical graph; meaningful for kOk and kPartial (and
+  /// empty for kUnresolved / kInvalid).
+  NetworkGraph graph;
+  /// Queried nodes the model does not know, in query order.
+  std::vector<std::string> unknown_nodes;
+  /// Human-readable detail when status == kInvalid.
+  std::string error;
+
+  /// True when a usable graph was produced (kOk or kPartial).
+  bool ok() const {
+    return status == obs::GraphStatus::kOk ||
+           status == obs::GraphStatus::kPartial;
+  }
+};
+
+/// Pre-resolved modeler instrumentation.  Service mode creates a fresh
+/// Modeler per query, so handles are resolved once by whoever owns the
+/// registry (QueryService, CmuHarness) and shared by pointer -- a query
+/// never touches the registry mutex.
+struct ModelerObs {
+  obs::Counter graph_queries;
+  obs::Counter flow_queries;
+  obs::Counter partial_graphs;    // graph answers with unknown nodes
+  obs::Counter unroutable_flows;  // flow results with routable == false
+  obs::Histogram solve_duration;  // max-min scenario sweep, seconds
+
+  static ModelerObs resolve(const obs::Obs& o);
+};
 
 class Modeler {
  public:
@@ -51,8 +88,28 @@ class Modeler {
   /// Replaces the kFuture predictor (default: EWMA 0.3).
   void set_predictor(std::unique_ptr<Predictor> predictor);
 
+  /// Shares pre-resolved metric handles (may be nullptr to unwire; the
+  /// pointee must outlive the Modeler).  Queries stay lock-free.
+  void set_obs(const ModelerObs* obs) { obs_ = obs; }
+
+  /// Attaches a per-query trace builder (nullptr = untraced).  The
+  /// builder is single-threaded; set it on the Modeler answering that
+  /// one query (service mode creates a Modeler per query anyway).
+  void set_trace(obs::TraceBuilder* trace) { trace_ = trace; }
+
   /// remos_get_graph: the logical topology relevant to `nodes`, annotated
-  /// for `timeframe`.
+  /// for `timeframe`.  Never throws past the API boundary for bad input:
+  /// unknown nodes yield kPartial (graph over the known subset) or
+  /// kUnresolved (no queried node known), and a malformed timeframe
+  /// yields kInvalid with the validation message.
+  GraphResult get_graph_result(const std::vector<std::string>& nodes,
+                               const Timeframe& timeframe,
+                               const LogicalOptions& options = {}) const;
+
+  /// Deprecated throwing form, kept for source compatibility: forwards
+  /// to get_graph_result and converts kInvalid back to InvalidArgument
+  /// and unknown nodes back to NotFoundError.  New code should call
+  /// get_graph_result.
   NetworkGraph get_graph(const std::vector<std::string>& nodes,
                          const Timeframe& timeframe,
                          const LogicalOptions& options = {}) const;
@@ -84,6 +141,8 @@ class Modeler {
   std::function<Seconds()> clock_;
   std::unique_ptr<Predictor> predictor_ = make_default_predictor();
   mutable std::atomic<std::size_t> queries_answered_{0};
+  const ModelerObs* obs_ = nullptr;      // shared, pre-resolved handles
+  obs::TraceBuilder* trace_ = nullptr;   // per-query, single-threaded
 };
 
 }  // namespace remos::core

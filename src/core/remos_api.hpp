@@ -12,18 +12,49 @@
 // The object-oriented Modeler interface underneath is the primary C++
 // API; these wrappers exist so code written against the paper reads
 // one-to-one.
+//
+// Facade <-> object-oriented mapping:
+//
+//   remos_get_graph(session, nodes, tf)
+//       -> Modeler::get_graph_result(nodes, tf)       [structured]
+//   remos_get_graph(session, nodes, graph&, tf)
+//       -> Modeler::get_graph(nodes, tf)              [throwing, legacy]
+//   remos_flow_info(session, query)
+//       -> Modeler::flow_info(query)                  [full FlowQuery]
+//   remos_flow_info(session, fixed, variable, independent, tf)
+//       -> Modeler::flow_info over an assembled FlowQuery
+//   remos_flow_info(session, fixed, variable, independent, multicast, tf)
+//       -> same, carrying the paper's multicast flow class
+//
+// The structured forms never throw for bad input: unknown nodes come
+// back as GraphResult::unknown_nodes / FlowResult::routable == false,
+// and malformed timeframes as GraphStatus::kInvalid -- one mistyped
+// endpoint cannot abort a long-running session.
 #pragma once
 
 #include "core/modeler.hpp"
 
 namespace remos {
 
-/// Fills `graph` with the logical topology relevant to connecting
-/// `nodes`, annotated for `timeframe`.
+/// Structured form: returns the logical topology relevant to connecting
+/// `nodes`, annotated for `timeframe`, with unknown nodes reported by
+/// name instead of thrown.
+core::GraphResult remos_get_graph(const core::Modeler& session,
+                                  const std::vector<std::string>& nodes,
+                                  const core::Timeframe& timeframe);
+
+/// Legacy output-parameter form (the paper's exact shape).  Throws
+/// NotFoundError when a node is unknown and InvalidArgument on a
+/// malformed timeframe; prefer the GraphResult overload.
 void remos_get_graph(const core::Modeler& session,
                      const std::vector<std::string>& nodes,
                      core::NetworkGraph& graph,
                      const core::Timeframe& timeframe);
+
+/// Full-query form: resolves an already-assembled FlowQuery (fixed,
+/// variable, independent and multicast classes) against the session.
+core::FlowQueryResult remos_flow_info(const core::Modeler& session,
+                                      const core::FlowQuery& query);
 
 /// Satisfies the fixed flows first, then the variable flows
 /// simultaneously, and finally the independent flow.  The flow vectors
@@ -32,6 +63,15 @@ core::FlowQueryResult remos_flow_info(
     const core::Modeler& session, std::vector<core::FlowRequest> fixed_flows,
     std::vector<core::FlowRequest> variable_flows,
     std::optional<core::FlowRequest> independent_flow,
+    const core::Timeframe& timeframe);
+
+/// Multicast-carrying form: as above, with the paper's multicast flow
+/// class admitted after the unicast fixed flows.
+core::FlowQueryResult remos_flow_info(
+    const core::Modeler& session, std::vector<core::FlowRequest> fixed_flows,
+    std::vector<core::FlowRequest> variable_flows,
+    std::optional<core::FlowRequest> independent_flow,
+    std::vector<core::MulticastRequest> multicast_flows,
     const core::Timeframe& timeframe);
 
 }  // namespace remos

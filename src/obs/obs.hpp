@@ -1,0 +1,33 @@
+// Observability wiring context.
+//
+// Components take a lightweight, copyable Obs view (two nullable
+// pointers) and resolve their metric handles once at wiring time; a
+// default Obs disables everything at the cost of one predictable branch
+// per record.  Whoever owns the deployment (CmuHarness, a test, a real
+// daemon) owns one Observability bundle and hands out views.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/status.hpp"
+#include "obs/trace.hpp"
+
+namespace remos::obs {
+
+/// Non-owning view a component keeps; null members are simply not fed.
+struct Obs {
+  MetricsRegistry* metrics = nullptr;
+  FlightRecorder* recorder = nullptr;
+
+  explicit operator bool() const { return metrics || recorder; }
+};
+
+/// Owning bundle: one registry + one recorder for a whole deployment.
+struct Observability {
+  MetricsRegistry metrics;
+  FlightRecorder recorder{512};
+
+  Obs view() { return Obs{&metrics, &recorder}; }
+};
+
+}  // namespace remos::obs

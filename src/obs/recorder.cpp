@@ -1,0 +1,70 @@
+#include "obs/recorder.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace remos::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {
+  if (capacity == 0)
+    throw InvalidArgument("FlightRecorder: zero capacity");
+  ring_.reserve(capacity);
+}
+
+void FlightRecorder::record(EventSeverity severity, std::string component,
+                            std::string kind, std::string detail,
+                            Seconds model_time) {
+  Event e;
+  e.wall_offset = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - epoch_)
+                      .count();
+  e.model_time = model_time;
+  e.severity = severity;
+  e.component = std::move(component);
+  e.kind = std::move(kind);
+  e.detail = std::move(detail);
+
+  std::lock_guard<std::mutex> lk(mutex_);
+  e.seq = seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+  } else {
+    ring_[head_] = std::move(e);
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+std::vector<Event> FlightRecorder::dump() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+std::string FlightRecorder::dump_text() const {
+  std::ostringstream out;
+  for (const Event& e : dump()) {
+    char when[64];
+    if (e.model_time >= 0)
+      std::snprintf(when, sizeof when, "t=%.1fs", e.model_time);
+    else
+      std::snprintf(when, sizeof when, "+%.3fs", e.wall_offset);
+    out << "#" << e.seq << "  " << when << "  [" << to_string(e.severity)
+        << "] " << e.component << "/" << e.kind;
+    if (!e.detail.empty()) out << ": " << e.detail;
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::uint64_t FlightRecorder::total() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return seq_;
+}
+
+}  // namespace remos::obs

@@ -1,0 +1,73 @@
+// Flight recorder: a bounded ring of recent structured events.
+//
+// Metrics tell an operator *how much* (counts, rates, distributions);
+// the flight recorder tells them *what happened last*: the most recent
+// breaker trips, health transitions, snapshot publishes and shed
+// episodes, in order, with both wall offsets and model-clock stamps.
+// The ring is fixed-size, so it can stay attached to a production
+// service forever and be dumped on demand or on fault without unbounded
+// memory.  Events are rare (state transitions, not per-query), so a
+// mutex-protected ring is plenty; the hot paths never touch it.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace remos::obs {
+
+enum class EventSeverity { kInfo, kWarn, kError };
+
+inline const char* to_string(EventSeverity s) {
+  switch (s) {
+    case EventSeverity::kInfo: return "info";
+    case EventSeverity::kWarn: return "warn";
+    case EventSeverity::kError: return "error";
+  }
+  return "?";
+}
+
+struct Event {
+  std::uint64_t seq = 0;       // ever-increasing; gaps reveal wraparound
+  double wall_offset = 0;      // seconds since the recorder was created
+  Seconds model_time = -1;     // model clock when known, else -1
+  EventSeverity severity = EventSeverity::kInfo;
+  std::string component;       // "snmp", "collector", "service", ...
+  std::string kind;            // "breaker_open", "health_transition", ...
+  std::string detail;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record(EventSeverity severity, std::string component,
+              std::string kind, std::string detail,
+              Seconds model_time = -1);
+
+  /// The retained window, oldest to newest.
+  std::vector<Event> dump() const;
+  /// One line per retained event, oldest to newest.
+  std::string dump_text() const;
+
+  /// Events ever recorded (>= dump().size() once wrapped).
+  std::uint64_t total() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<Event> ring_;  // insertion ring once full
+  std::size_t head_ = 0;     // index of oldest element once full
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace remos::obs

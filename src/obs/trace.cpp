@@ -1,0 +1,76 @@
+#include "obs/trace.hpp"
+
+#include <sstream>
+
+namespace remos::obs {
+
+std::string SpanTree::render() const {
+  // Depth by chasing parents; spans are appended in open order, so a
+  // simple pass renders the tree correctly.
+  std::ostringstream out;
+  for (const Span& s : spans) {
+    int depth = 0;
+    for (std::int32_t p = s.parent; p >= 0;
+         p = spans[static_cast<std::size_t>(p)].parent)
+      ++depth;
+    for (int i = 0; i < depth; ++i) out << "  ";
+    out << s.name << "  +" << s.start_us << "us  " << s.duration_us
+        << "us\n";
+  }
+  return out.str();
+}
+
+std::uint64_t TraceBuilder::since_epoch_us() const {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - epoch_)
+                      .count();
+  return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+}
+
+std::size_t TraceBuilder::open(std::string name) {
+  Span s;
+  s.name = std::move(name);
+  s.parent = stack_.empty()
+                 ? -1
+                 : static_cast<std::int32_t>(stack_.back());
+  s.start_us = since_epoch_us();
+  spans_.push_back(std::move(s));
+  const std::size_t index = spans_.size() - 1;
+  stack_.push_back(index);
+  return index;
+}
+
+void TraceBuilder::close(std::size_t index) {
+  if (index >= spans_.size()) return;
+  Span& s = spans_[index];
+  const std::uint64_t now = since_epoch_us();
+  s.duration_us = now > s.start_us ? now - s.start_us : 0;
+  // Pop through the stack to this span (tolerates unclosed children).
+  while (!stack_.empty()) {
+    const std::size_t top = stack_.back();
+    stack_.pop_back();
+    if (top == index) break;
+  }
+}
+
+void TraceBuilder::add_complete(std::string name, std::uint64_t start_us,
+                                std::uint64_t duration_us) {
+  Span s;
+  s.name = std::move(name);
+  s.parent = stack_.empty()
+                 ? -1
+                 : static_cast<std::int32_t>(stack_.back());
+  s.start_us = start_us;
+  s.duration_us = duration_us;
+  spans_.push_back(std::move(s));
+}
+
+SpanTree TraceBuilder::take() {
+  while (!stack_.empty()) close(stack_.back());
+  SpanTree tree;
+  tree.spans = std::move(spans_);
+  spans_.clear();
+  return tree;
+}
+
+}  // namespace remos::obs

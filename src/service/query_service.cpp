@@ -1,7 +1,6 @@
 #include "service/query_service.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <utility>
 
 #include "util/error.hpp"
@@ -19,43 +18,11 @@ std::uint64_t elapsed_us(Clock::time_point from, Clock::time_point to) {
   return us > 0 ? static_cast<std::uint64_t>(us) : 0;
 }
 
+double to_seconds(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
 }  // namespace
-
-const char* to_string(QueryStatus status) {
-  switch (status) {
-    case QueryStatus::kAnswered: return "answered";
-    case QueryStatus::kStale: return "stale";
-    case QueryStatus::kOverloaded: return "overloaded";
-    case QueryStatus::kExpired: return "expired";
-    case QueryStatus::kError: return "error";
-  }
-  return "?";
-}
-
-void LatencyHistogram::record(std::uint64_t us) {
-  const std::size_t b =
-      std::min<std::size_t>(std::bit_width(us), kBuckets - 1);
-  buckets_[b].fetch_add(1, std::memory_order_relaxed);
-}
-
-std::uint64_t LatencyHistogram::count() const {
-  std::uint64_t n = 0;
-  for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
-  return n;
-}
-
-std::uint64_t LatencyHistogram::quantile_us(double q) const {
-  const std::uint64_t n = count();
-  if (n == 0) return 0;
-  const double target = q * static_cast<double>(n);
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
-    if (static_cast<double>(seen) >= target)
-      return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
-  }
-  return std::uint64_t{1} << (kBuckets - 1);
-}
 
 QueryService::QueryService(Options options)
     : options_(options),
@@ -71,6 +38,37 @@ QueryService::QueryService(Options options)
 }
 
 QueryService::~QueryService() { stop(); }
+
+void QueryService::set_obs(const obs::Obs& o) {
+  if (o.metrics) {
+    for (int s = 0; s < obs::kQueryStatusCount; ++s)
+      status_counters_[static_cast<std::size_t>(s)] = o.metrics->counter(
+          "remos_service_queries_total",
+          {{"status", obs::to_string(static_cast<QueryStatus>(s))}},
+          "Query outcomes by client-visible status");
+    submitted_counter_ =
+        o.metrics->counter("remos_service_queries_submitted_total", {},
+                           "Queries offered to admission control");
+    polls_counter_ = o.metrics->counter(
+        "remos_service_polls_total", {}, "Background poll steps executed");
+    queue_depth_gauge_ = o.metrics->gauge(
+        "remos_service_queue_depth", {}, "Jobs enqueued awaiting a worker");
+    snapshot_version_gauge_ =
+        o.metrics->gauge("remos_service_snapshot_version", {},
+                         "Version of the current published snapshot");
+    snapshot_age_gauge_ = o.metrics->gauge(
+        "remos_service_snapshot_age_seconds", {},
+        "Model-clock age of the snapshot at the last answer");
+    latency_ = o.metrics->histogram(
+        "remos_service_latency_seconds", obs::default_time_buckets(), {},
+        "Wall-clock submission-to-response latency of executed queries");
+    deadline_slack_ = o.metrics->histogram(
+        "remos_service_deadline_slack_seconds", obs::default_time_buckets(),
+        {}, "Wall-clock budget remaining when the answer landed");
+    modeler_obs_ = core::ModelerObs::resolve(o);
+  }
+  recorder_ = o.recorder;
+}
 
 void QueryService::start() { start(std::function<void()>{}); }
 
@@ -115,6 +113,12 @@ void QueryService::stop() {
 void QueryService::publish(collector::NetworkModel model, Seconds model_now) {
   store_.publish(std::move(model), model_now);
   note_model_now(model_now);
+  snapshot_version_gauge_.set(static_cast<double>(store_.version()));
+  if (recorder_)
+    recorder_->record(obs::EventSeverity::kInfo, "service",
+                      "snapshot_publish",
+                      "version " + std::to_string(store_.version()),
+                      model_now);
 }
 
 void QueryService::note_model_now(Seconds model_now) {
@@ -126,6 +130,7 @@ void QueryService::note_model_now(Seconds model_now) {
 }
 
 void QueryService::count_outcome(QueryStatus status) {
+  status_counters_[static_cast<std::size_t>(status)].inc();
   switch (status) {
     case QueryStatus::kAnswered:
       answered_.fetch_add(1, std::memory_order_relaxed);
@@ -145,9 +150,23 @@ void QueryService::count_outcome(QueryStatus status) {
   }
 }
 
+void QueryService::note_shed(bool shed) {
+  // Edge-triggered: the recorder logs shed *episodes*, not every shed
+  // query -- an overload burst is one event in, one event out.
+  if (shedding_.exchange(shed, std::memory_order_relaxed) == shed) return;
+  if (recorder_)
+    recorder_->record(shed ? obs::EventSeverity::kWarn
+                           : obs::EventSeverity::kInfo,
+                      "service",
+                      shed ? "shed_episode_begin" : "shed_episode_end",
+                      shed ? "admission queue full; shedding"
+                           : "admission recovered");
+}
+
 template <typename Response, typename Fn>
 void QueryService::run_job(const std::shared_ptr<Pending<Response>>& state,
                            Fn& execute) {
+  queue_depth_gauge_.add(-1.0);
   if (state->abandoned.load(std::memory_order_acquire)) {
     // The caller already returned kExpired; skip the work entirely.
     admission_.release();
@@ -157,11 +176,14 @@ void QueryService::run_job(const std::shared_ptr<Pending<Response>>& state,
   if (Clock::now() >= state->deadline) {
     r.meta.status = QueryStatus::kExpired;
   } else {
-    r = execute();
+    r = execute(state->enqueued);
   }
-  const std::uint64_t us = elapsed_us(state->enqueued, Clock::now());
+  const auto done = Clock::now();
+  const std::uint64_t us = elapsed_us(state->enqueued, done);
   r.meta.latency = std::chrono::microseconds(us);
-  latency_.record(us);
+  latency_.observe(static_cast<double>(us) * 1e-6);
+  deadline_slack_.observe(
+      std::max(0.0, to_seconds(state->deadline - done)));
   admission_.release();
   state->promise.set_value(std::move(r));
 }
@@ -170,15 +192,18 @@ template <typename Response, typename Fn>
 Response QueryService::submit(std::chrono::microseconds deadline_budget,
                               Fn execute) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_counter_.inc();
   const auto enqueued = Clock::now();
   const auto deadline = enqueued + deadline_budget;
 
   Response r;
   if (!admission_.try_acquire()) {
     r.meta.status = QueryStatus::kOverloaded;
+    note_shed(true);
     count_outcome(r.meta.status);
     return r;
   }
+  note_shed(false);
 
   auto state = std::make_shared<Pending<Response>>();
   state->enqueued = enqueued;
@@ -197,6 +222,7 @@ Response QueryService::submit(std::chrono::microseconds deadline_budget,
         [this, state, execute = std::move(execute)]() mutable {
           run_job(state, execute);
         });
+    queue_depth_gauge_.add(1.0);
   }
   queue_cv_.notify_one();
 
@@ -213,25 +239,44 @@ Response QueryService::submit(std::chrono::microseconds deadline_budget,
 }
 
 template <typename Response, typename Fn>
-Response QueryService::answer(Seconds staleness_budget, Fn&& query_fn) {
+Response QueryService::answer(Seconds staleness_budget, bool trace,
+                              std::chrono::steady_clock::time_point enqueued,
+                              Fn&& query_fn) {
   Response r;
-  const SnapshotStore::Ptr snap = store_.current();
+  // Epoch = submission, so the "admission" span (queue wait) lines up
+  // with the worker-side spans in one tree.
+  obs::TraceBuilder tb(enqueued);
+  obs::TraceBuilder* tbp = trace ? &tb : nullptr;
+  if (tbp) tb.add_complete("admission", 0, elapsed_us(enqueued, Clock::now()));
+
+  SnapshotStore::Ptr snap;
+  {
+    obs::TraceBuilder::Scoped span(tbp, "snapshot_pickup");
+    snap = store_.current();
+  }
   if (!snap) {
     r.meta.status = QueryStatus::kError;
     r.meta.error = "no snapshot published yet";
+    if (tbp) r.meta.trace = tb.take();
     return r;
   }
   const Seconds now = model_now();
   const Seconds age = std::max(0.0, now - snap->taken_at);
   r.meta.snapshot_version = snap->version;
   r.meta.snapshot_age = age;
+  snapshot_age_gauge_.set(age);
   // A fresh Modeler over the immutable snapshot: const queries, no
   // shared mutable state, nothing to lock.  The clock is pinned to the
   // model time observed at answer time, so accuracy keeps decaying
-  // (PR 1) as the snapshot ages past its publication.
+  // (PR 1) as the snapshot ages past its publication.  Metric handles
+  // were pre-resolved at set_obs time; the trace builder (if any) is
+  // owned by this one query.
   core::Modeler modeler(snap->model);
   modeler.set_clock([now] { return now; });
+  modeler.set_obs(&modeler_obs_);
+  modeler.set_trace(tbp);
   try {
+    obs::TraceBuilder::Scoped span(tbp, "solve");
     query_fn(modeler, r);
     r.meta.status =
         age > staleness_budget ? QueryStatus::kStale : QueryStatus::kAnswered;
@@ -242,6 +287,7 @@ Response QueryService::answer(Seconds staleness_budget, Fn&& query_fn) {
     r.meta.status = QueryStatus::kError;
     r.meta.error = "unknown error";
   }
+  if (tbp) r.meta.trace = tb.take();
   return r;
 }
 
@@ -249,10 +295,20 @@ GraphResponse QueryService::get_graph(GraphQuery query) {
   const auto budget = query.deadline.value_or(options_.default_deadline);
   const Seconds slo = query.max_staleness.value_or(options_.staleness_slo);
   return submit<GraphResponse>(
-      budget, [this, q = std::move(query), slo]() {
+      budget,
+      [this, q = std::move(query), slo](Clock::time_point enqueued) {
         return answer<GraphResponse>(
-            slo, [&q](const core::Modeler& m, GraphResponse& r) {
-              r.graph = m.get_graph(q.nodes, q.timeframe, q.options);
+            slo, q.trace, enqueued,
+            [&q](const core::Modeler& m, GraphResponse& r) {
+              core::GraphResult gr =
+                  m.get_graph_result(q.nodes, q.timeframe, q.options);
+              r.graph = std::move(gr.graph);
+              r.graph_status = gr.status;
+              r.unknown_nodes = std::move(gr.unknown_nodes);
+              // A structurally invalid query is still a service-level
+              // error; partial/unresolved topologies are answers.
+              if (gr.status == obs::GraphStatus::kInvalid)
+                throw InvalidArgument(gr.error);
             });
       });
 }
@@ -261,9 +317,11 @@ FlowInfoResponse QueryService::flow_info(FlowInfoQuery query) {
   const auto budget = query.deadline.value_or(options_.default_deadline);
   const Seconds slo = query.max_staleness.value_or(options_.staleness_slo);
   return submit<FlowInfoResponse>(
-      budget, [this, q = std::move(query), slo]() {
+      budget,
+      [this, q = std::move(query), slo](Clock::time_point enqueued) {
         return answer<FlowInfoResponse>(
-            slo, [&q](const core::Modeler& m, FlowInfoResponse& r) {
+            slo, q.trace, enqueued,
+            [&q](const core::Modeler& m, FlowInfoResponse& r) {
               r.result = m.flow_info(q.query);
             });
       });
@@ -280,8 +338,8 @@ ServiceStats QueryService::stats() const {
   s.polls = polls_.load(std::memory_order_relaxed);
   s.snapshot_version = store_.version();
   s.in_flight_high_water = admission_.high_water();
-  s.p50_us = latency_.quantile_us(0.50);
-  s.p99_us = latency_.quantile_us(0.99);
+  s.p50_us = static_cast<std::uint64_t>(latency_.quantile(0.50) * 1e6);
+  s.p99_us = static_cast<std::uint64_t>(latency_.quantile(0.99) * 1e6);
   return s;
 }
 
@@ -303,6 +361,7 @@ void QueryService::poller_loop(std::function<void()> poll_step) {
   while (true) {
     poll_step();
     polls_.fetch_add(1, std::memory_order_relaxed);
+    polls_counter_.inc();
     std::unique_lock<std::mutex> lk(mutex_);
     if (stop_cv_.wait_for(lk, options_.poll_interval,
                           [this] { return stopping_; }))

@@ -49,36 +49,24 @@
 #include "core/graph.hpp"
 #include "core/logical.hpp"
 #include "core/modeler.hpp"
+#include "obs/obs.hpp"
 #include "service/admission.hpp"
 #include "service/snapshot_store.hpp"
 
 namespace remos::service {
 
-/// Outcome of one query, as seen by the caller.
-enum class QueryStatus {
-  kAnswered,    // served from a snapshot within the staleness budget
-  kStale,       // served, but the freshest snapshot exceeded the budget
-  kOverloaded,  // shed at admission: the bounded queue was full
-  kExpired,     // the deadline passed before a worker could answer
-  kError,       // malformed query (structured; the service stays up)
-};
+/// Outcome of one query, as seen by the caller (shared vocabulary; see
+/// obs/status.hpp):
+///   kAnswered    served from a snapshot within the staleness budget
+///   kStale       served, but the freshest snapshot exceeded the budget
+///   kOverloaded  shed at admission: the bounded queue was full
+///   kExpired     the deadline passed before a worker could answer
+///   kError       malformed query (structured; the service stays up)
+using QueryStatus = obs::QueryStatus;
 
-const char* to_string(QueryStatus status);
-
-/// Approximate latency distribution: power-of-two microsecond buckets,
-/// lock-free to record.  Quantiles report the bucket's upper bound, so
-/// they are conservative within a factor of two.
-class LatencyHistogram {
- public:
-  void record(std::uint64_t us);
-  std::uint64_t count() const;
-  /// Upper-bound estimate of the q-quantile (q in [0,1]) in microseconds.
-  std::uint64_t quantile_us(double q) const;
-
- private:
-  static constexpr std::size_t kBuckets = 40;
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-};
+inline const char* to_string(QueryStatus status) {
+  return obs::to_string(status);
+}
 
 struct GraphQuery {
   std::vector<std::string> nodes;
@@ -88,12 +76,17 @@ struct GraphQuery {
   std::optional<std::chrono::microseconds> deadline;
   /// Model-clock staleness budget; service SLO when unset.
   std::optional<Seconds> max_staleness;
+  /// Collect a per-query span tree into ResponseMeta::trace (admission,
+  /// snapshot pickup, route resolution, solve, ...).
+  bool trace = false;
 };
 
 struct FlowInfoQuery {
   core::FlowQuery query;
   std::optional<std::chrono::microseconds> deadline;
   std::optional<Seconds> max_staleness;
+  /// Collect a per-query span tree into ResponseMeta::trace.
+  bool trace = false;
 };
 
 struct ResponseMeta {
@@ -105,6 +98,9 @@ struct ResponseMeta {
   /// Wall-clock time from submission to response.
   std::chrono::microseconds latency{0};
   std::string error;
+  /// Span tree for this query; non-empty only when the query asked for
+  /// tracing and reached a worker.
+  obs::SpanTree trace;
 
   /// True when a payload was produced (kAnswered or kStale).
   bool ok() const {
@@ -115,6 +111,11 @@ struct ResponseMeta {
 struct GraphResponse {
   ResponseMeta meta;
   core::NetworkGraph graph;  // valid when meta.ok()
+  /// Structured topology outcome (core::GraphResult): a query naming
+  /// unknown nodes is still kAnswered/kStale at the service level, with
+  /// graph_status kPartial/kUnresolved and the names listed here.
+  obs::GraphStatus graph_status = obs::GraphStatus::kOk;
+  std::vector<std::string> unknown_nodes;
 };
 
 struct FlowInfoResponse {
@@ -134,7 +135,9 @@ struct ServiceStats {
   std::uint64_t polls = 0;
   std::uint64_t snapshot_version = 0;
   std::size_t in_flight_high_water = 0;
-  /// Service-side completion latency quantiles (executed queries only).
+  /// Service-side completion latency quantiles (executed queries only),
+  /// conservative bucket upper bounds.  Sourced from the wired metrics
+  /// registry, so they read 0 until set_obs is called.
   std::uint64_t p50_us = 0;
   std::uint64_t p99_us = 0;
 };
@@ -162,6 +165,13 @@ class QueryService {
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
+
+  /// Wires metrics and flight-recorder events: per-status query
+  /// counters, queue depth, latency and deadline-slack histograms,
+  /// snapshot gauges, and shed-episode / publish events.  Call before
+  /// start(); handles are resolved once and the hot path stays
+  /// lock-free.  Without it every sink is a no-op.
+  void set_obs(const obs::Obs& o);
 
   /// Starts the worker pool.  With `poll_step`, also starts a background
   /// poller thread that invokes it every poll_interval until stop() --
@@ -206,8 +216,11 @@ class QueryService {
   template <typename Response, typename Fn>
   void run_job(const std::shared_ptr<Pending<Response>>& state, Fn& execute);
   template <typename Response, typename Fn>
-  Response answer(Seconds staleness_budget, Fn&& query_fn);
+  Response answer(Seconds staleness_budget, bool trace,
+                  std::chrono::steady_clock::time_point enqueued,
+                  Fn&& query_fn);
   void count_outcome(QueryStatus status);
+  void note_shed(bool shed);
 
   void worker_loop();
   void poller_loop(std::function<void()> poll_step);
@@ -233,7 +246,19 @@ class QueryService {
   std::atomic<std::uint64_t> expired_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> polls_{0};
-  LatencyHistogram latency_;
+
+  // Observability (no-op sinks until set_obs).
+  obs::FlightRecorder* recorder_ = nullptr;
+  core::ModelerObs modeler_obs_;
+  std::array<obs::Counter, obs::kQueryStatusCount> status_counters_;
+  obs::Counter submitted_counter_;
+  obs::Counter polls_counter_;
+  obs::Gauge queue_depth_gauge_;
+  obs::Gauge snapshot_version_gauge_;
+  obs::Gauge snapshot_age_gauge_;
+  obs::Histogram latency_;        // seconds, submission -> response
+  obs::Histogram deadline_slack_; // seconds left when the answer landed
+  std::atomic<bool> shedding_{false};  // edge detector for episode events
 };
 
 }  // namespace remos::service

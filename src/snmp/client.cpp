@@ -22,6 +22,24 @@ std::uint64_t address_seed(const std::string& address) {
 
 }  // namespace
 
+ClientObs ClientObs::resolve(const obs::Obs& o) {
+  ClientObs c;
+  if (o.metrics) {
+    c.exchanges = o.metrics->counter("remos_snmp_exchanges_total", {},
+                                     "SNMP exchange attempts started");
+    c.retries = o.metrics->counter("remos_snmp_retries_total", {},
+                                   "SNMP per-exchange retransmissions");
+    c.timeouts = o.metrics->counter(
+        "remos_snmp_timeouts_total", {},
+        "SNMP exchanges that exhausted their retry budget");
+    c.garbled = o.metrics->counter(
+        "remos_snmp_garbled_total", {},
+        "Undecodable or request-id-mismatched SNMP responses");
+  }
+  c.recorder = o.recorder;
+  return c;
+}
+
 BreakerBoard::BreakerBoard(Options options) : options_(options) {
   if (options_.failure_threshold < 1)
     throw InvalidArgument("BreakerBoard: failure_threshold < 1");
@@ -34,6 +52,30 @@ BreakerBoard::State BreakerBoard::state(const std::string& address) const {
   return it == entries_.end() ? State::kClosed : it->second.state;
 }
 
+void BreakerBoard::set_obs(const obs::Obs& o) {
+  if (o.metrics) {
+    open_gauge_ = o.metrics->gauge("remos_snmp_breakers_open", {},
+                                   "Agent circuit breakers currently open");
+    fast_fail_counter_ =
+        o.metrics->counter("remos_snmp_breaker_fast_fail_total", {},
+                           "Exchanges rejected by an open breaker");
+  }
+  recorder_ = o.recorder;
+}
+
+void BreakerBoard::note_transition(const std::string& address, State from,
+                                   State to, Seconds now) {
+  if (from == to) return;
+  if (recorder_)
+    recorder_->record(to == State::kOpen ? obs::EventSeverity::kWarn
+                                         : obs::EventSeverity::kInfo,
+                      "snmp", "breaker_transition",
+                      address + ": " + obs::to_string(from) + " -> " +
+                          obs::to_string(to),
+                      now);
+  open_gauge_.set(static_cast<double>(open_count()));
+}
+
 bool BreakerBoard::admit(const std::string& address, Seconds now,
                          bool* probe) {
   *probe = false;
@@ -44,9 +86,11 @@ bool BreakerBoard::admit(const std::string& address, Seconds now,
     case State::kOpen:
       if (now - e.opened_at < options_.cooldown) {
         ++fast_failures_;
+        fast_fail_counter_.inc();
         return false;
       }
       e.state = State::kHalfOpen;
+      note_transition(address, State::kOpen, State::kHalfOpen, now);
       *probe = true;
       return true;
     case State::kHalfOpen:
@@ -59,18 +103,22 @@ bool BreakerBoard::admit(const std::string& address, Seconds now,
 
 void BreakerBoard::on_success(const std::string& address) {
   Entry& e = entries_[address];
+  const State from = e.state;
   e.state = State::kClosed;
   e.consecutive_failures = 0;
+  note_transition(address, from, State::kClosed, -1);
 }
 
 void BreakerBoard::on_failure(const std::string& address, Seconds now) {
   Entry& e = entries_[address];
+  const State from = e.state;
   ++e.consecutive_failures;
   if (e.state == State::kHalfOpen ||
       e.consecutive_failures >= options_.failure_threshold) {
     e.state = State::kOpen;
     e.opened_at = now;
   }
+  note_transition(address, from, e.state, now);
 }
 
 std::size_t BreakerBoard::open_count() const {
@@ -81,12 +129,14 @@ std::size_t BreakerBoard::open_count() const {
 }
 
 Client::Client(Transport& transport, std::string agent_address,
-               std::string community, Config config, BreakerBoard* breakers)
+               std::string community, Config config, BreakerBoard* breakers,
+               const ClientObs* client_obs)
     : transport_(&transport),
       address_(std::move(agent_address)),
       community_(std::move(community)),
       config_(config),
       breakers_(breakers),
+      obs_(client_obs),
       jitter_rng_(address_seed(address_)) {
   if (config_.max_attempts < 1)
     throw InvalidArgument("Client: max_attempts < 1");
@@ -102,6 +152,7 @@ Pdu Client::exchange(Pdu request) {
   if (breakers_ && !breakers_->admit(address_, transport_->now(), &probe))
     throw CircuitOpenError("SNMP: circuit open for " + address_);
 
+  if (obs_) obs_->exchanges.inc();
   const auto wire = encode(request);
   const int attempts = probe ? 1 : config_.max_attempts;
   Seconds spent = 0;
@@ -110,6 +161,7 @@ Pdu Client::exchange(Pdu request) {
 
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
+      if (obs_) obs_->retries.inc();
       // Exponential backoff with jitter, charged against the budget.
       const Seconds wait =
           backoff * (1.0 + config_.jitter * jitter_rng_.uniform());
@@ -135,15 +187,18 @@ Pdu Client::exchange(Pdu request) {
       response = decode(*result.response);
     } catch (const ProtocolError& e) {
       garbled = e;  // corrupt datagram: as good as lost, retry
+      if (obs_) obs_->garbled.inc();
       continue;
     }
     if (response.type != PduType::kResponse) {
       garbled = ProtocolError("SNMP: non-response PDU from " + address_);
+      if (obs_) obs_->garbled.inc();
       continue;
     }
     if (response.request_id != request.request_id) {
       garbled =
           ProtocolError("SNMP: request-id mismatch from " + address_);
+      if (obs_) obs_->garbled.inc();
       continue;
     }
     // A decoded, matching response is a definitive answer: the agent is
@@ -159,6 +214,7 @@ Pdu Client::exchange(Pdu request) {
 
   if (breakers_) breakers_->on_failure(address_, transport_->now());
   if (garbled) throw *garbled;
+  if (obs_) obs_->timeouts.inc();
   throw TimeoutError("SNMP: no response from " + address_ + " within " +
                      std::to_string(config_.timeout_budget) + "s budget");
 }

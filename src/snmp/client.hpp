@@ -21,18 +21,33 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "snmp/pdu.hpp"
 #include "snmp/transport.hpp"
 #include "util/rng.hpp"
 
 namespace remos::snmp {
 
+/// Pre-resolved observability handles shared by every Client a collector
+/// creates (clients are short-lived; resolving per-client would hit the
+/// registry mutex on every exchange batch).  All handles are optional
+/// no-op sinks until resolve() is called with a live registry.
+struct ClientObs {
+  obs::Counter exchanges;      // exchange attempts started
+  obs::Counter retries;        // per-exchange retransmissions
+  obs::Counter timeouts;       // exchanges that exhausted their budget
+  obs::Counter garbled;        // undecodable / mismatched responses
+  obs::FlightRecorder* recorder = nullptr;
+
+  static ClientObs resolve(const obs::Obs& o);
+};
+
 /// Per-agent circuit breakers, keyed by transport address.  One board is
 /// shared by every Client a collector creates, so breaker state survives
 /// the clients themselves.  Single-threaded, like the rest of the stack.
 class BreakerBoard {
  public:
-  enum class State { kClosed, kOpen, kHalfOpen };
+  using State = obs::BreakerState;  // shared vocabulary (obs/status.hpp)
 
   struct Options {
     /// Consecutive exchange failures that open the breaker.
@@ -60,7 +75,14 @@ class BreakerBoard {
   /// Addresses whose breaker is currently open.
   std::size_t open_count() const;
 
+  /// Wires metrics (open-breaker gauge, fast-fail counter) and recorder
+  /// events (every state transition) into this board.
+  void set_obs(const obs::Obs& o);
+
  private:
+  void note_transition(const std::string& address, State from, State to,
+                       Seconds now);
+
   struct Entry {
     State state = State::kClosed;
     int consecutive_failures = 0;
@@ -70,6 +92,9 @@ class BreakerBoard {
   Options options_;
   std::map<std::string, Entry> entries_;
   std::uint64_t fast_failures_ = 0;
+  obs::Gauge open_gauge_;
+  obs::Counter fast_fail_counter_;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 class Client {
@@ -92,7 +117,8 @@ class Client {
 
   Client(Transport& transport, std::string agent_address,
          std::string community, Config config,
-         BreakerBoard* breakers = nullptr);
+         BreakerBoard* breakers = nullptr,
+         const ClientObs* client_obs = nullptr);
   Client(Transport& transport, std::string agent_address,
          std::string community = "public")
       : Client(transport, std::move(agent_address), std::move(community),
@@ -125,6 +151,7 @@ class Client {
   std::string community_;
   Config config_;
   BreakerBoard* breakers_;
+  const ClientObs* obs_;  // nullable; handles inside are no-op when unset
   Rng jitter_rng_;
   std::int32_t next_request_id_ = 1;
 };

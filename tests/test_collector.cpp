@@ -257,6 +257,35 @@ TEST(CollectorSetTest, MergesSnmpAndBenchmarkViews) {
   EXPECT_NE(merged.find_link("aspen", "timberline"), nullptr);
 }
 
+TEST(CollectorSetTest, PollRoundsAndMergeDurationAreObservable) {
+  CmuHarness harness;
+  harness.start(10.0);
+  BenchmarkCollector bench(harness.sim(), {"m-1", "m-8"});
+  bench.discover();
+
+  obs::MetricsRegistry registry;
+  CollectorSet set;
+  set.set_obs(obs::Obs{&registry, nullptr});
+  set.add(harness.collector());
+  set.add(bench);
+  std::size_t published = 0;
+  set.set_publish_hook([&](NetworkModel) { ++published; });
+  set.poll_all();
+  set.poll_all();
+
+  EXPECT_EQ(published, 2u);
+  EXPECT_EQ(
+      registry.counter("remos_collectorset_poll_rounds_total").value(), 2u);
+  EXPECT_EQ(
+      registry.counter("remos_collectorset_poll_errors_total").value(), 0u);
+  // The publish path times merged(): one observation per round.
+  EXPECT_EQ(registry
+                .histogram("remos_collectorset_merge_duration_seconds",
+                           obs::default_time_buckets())
+                .count(),
+            2u);
+}
+
 TEST(CollectorPolling, StartStopLifecycle) {
   CmuHarness harness;  // polling armed in ctor
   harness.start(9.0);

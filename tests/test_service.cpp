@@ -22,6 +22,7 @@
 
 #include "apps/harness.hpp"
 #include "netsim/traffic.hpp"
+#include "obs/obs.hpp"
 #include "service/admission.hpp"
 #include "service/query_service.hpp"
 #include "service/snapshot_store.hpp"
@@ -136,18 +137,6 @@ TEST(Admission, RejectsZeroCapacity) {
   EXPECT_THROW(AdmissionController({0}), InvalidArgument);
 }
 
-// --- LatencyHistogram ---
-
-TEST(LatencyHistogram, QuantilesAreConservativeUpperBounds) {
-  LatencyHistogram h;
-  for (int i = 0; i < 99; ++i) h.record(100);   // ~2^7
-  h.record(100'000);                            // one slow outlier
-  EXPECT_EQ(h.count(), 100u);
-  EXPECT_LE(h.quantile_us(0.5), 255u);
-  EXPECT_GE(h.quantile_us(0.5), 100u);
-  EXPECT_GE(h.quantile_us(1.0), 100'000u);
-}
-
 // --- QueryService semantics ---
 
 GraphQuery graph_query(std::vector<std::string> nodes) {
@@ -214,15 +203,37 @@ TEST(QueryService, FlowQueriesWorkAndUnknownHostsAreStructured) {
   svc.stop();
 }
 
-TEST(QueryService, MalformedQueriesAreErrorsNotAborts) {
+TEST(QueryService, UnknownGraphNodesAreStructuredPartialResults) {
   QueryService svc;
   svc.start();
   svc.publish(tiny_model(0.0), 0.0);
 
-  // Unknown node in a graph query: NotFoundError mapped to kError.
-  const GraphResponse unknown = svc.get_graph(graph_query({"a", "ghost"}));
-  EXPECT_EQ(unknown.meta.status, QueryStatus::kError);
-  EXPECT_FALSE(unknown.meta.error.empty());
+  // One unknown node degrades the answer (kPartial over the known
+  // subset) instead of aborting it.
+  const GraphResponse partial = svc.get_graph(graph_query({"a", "ghost"}));
+  EXPECT_EQ(partial.meta.status, QueryStatus::kAnswered);
+  EXPECT_EQ(partial.graph_status, obs::GraphStatus::kPartial);
+  ASSERT_EQ(partial.unknown_nodes.size(), 1u);
+  EXPECT_EQ(partial.unknown_nodes[0], "ghost");
+  EXPECT_TRUE(partial.graph.has_node("a"));
+
+  // No queried node known: kUnresolved, still a structured answer.
+  const GraphResponse none = svc.get_graph(graph_query({"ghost", "wraith"}));
+  EXPECT_EQ(none.meta.status, QueryStatus::kAnswered);
+  EXPECT_EQ(none.graph_status, obs::GraphStatus::kUnresolved);
+  EXPECT_EQ(none.unknown_nodes.size(), 2u);
+
+  // A fully-resolved query reports kOk.
+  const GraphResponse ok = svc.get_graph(graph_query({"a", "b"}));
+  EXPECT_EQ(ok.graph_status, obs::GraphStatus::kOk);
+  EXPECT_TRUE(ok.unknown_nodes.empty());
+  svc.stop();
+}
+
+TEST(QueryService, MalformedQueriesAreErrorsNotAborts) {
+  QueryService svc;
+  svc.start();
+  svc.publish(tiny_model(0.0), 0.0);
 
   // src == dst: InvalidArgument mapped to kError.
   FlowInfoQuery self;
@@ -288,6 +299,123 @@ TEST(QueryService, OverloadShedsImmediatelyWithStructuredResult) {
   EXPECT_EQ(f2.get().meta.status, QueryStatus::kExpired);
   EXPECT_EQ(svc.stats().shed, 1u);
   EXPECT_EQ(svc.stats().expired, 2u);
+}
+
+TEST(QueryService, CountersMatchObservedStatusesAndQueueDrains) {
+  obs::Observability obs;
+  QueryService svc;
+  svc.set_obs(obs.view());
+  svc.start();
+  svc.publish(tiny_model(0.0), 0.0);
+
+  // 3 answered, 1 stale, 1 error; tally them through the registry.
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(svc.get_graph(graph_query({"a", "b"})).meta.status,
+              QueryStatus::kAnswered);
+  svc.note_model_now(50.0);
+  EXPECT_EQ(svc.get_graph(graph_query({"a", "b"})).meta.status,
+            QueryStatus::kStale);
+  GraphQuery bad = graph_query({"a", "b"});
+  bad.timeframe.kind = core::Timeframe::Kind::kHistory;
+  bad.timeframe.window = -1.0;
+  EXPECT_EQ(svc.get_graph(std::move(bad)).meta.status, QueryStatus::kError);
+  svc.stop();
+
+  const ServiceStats s = svc.stats();
+  auto status_count = [&](const char* status) {
+    return obs.metrics
+        .counter("remos_service_queries_total", {{"status", status}})
+        .value();
+  };
+  EXPECT_EQ(status_count("answered"), s.answered);
+  EXPECT_EQ(status_count("stale"), s.stale);
+  EXPECT_EQ(status_count("overloaded"), s.shed);
+  EXPECT_EQ(status_count("expired"), s.expired);
+  EXPECT_EQ(status_count("error"), s.errors);
+  EXPECT_EQ(status_count("answered"), 3u);
+  EXPECT_EQ(status_count("stale"), 1u);
+  EXPECT_EQ(status_count("error"), 1u);
+  EXPECT_EQ(
+      obs.metrics.counter("remos_service_queries_submitted_total").value(),
+      s.submitted);
+  // Executed queries (answered + stale + error) hit the latency
+  // histogram; quantiles flow back into ServiceStats.
+  EXPECT_EQ(obs.metrics
+                .histogram("remos_service_latency_seconds",
+                           obs::default_time_buckets())
+                .count(),
+            5u);
+  EXPECT_GT(s.p99_us, 0u);
+  // Idle service: the queue-depth gauge has drained back to zero.
+  EXPECT_DOUBLE_EQ(obs.metrics.gauge("remos_service_queue_depth").value(),
+                   0.0);
+}
+
+TEST(QueryService, ShedCounterAndEpisodeEventsUnderOverload) {
+  obs::Observability obs;
+  QueryService::Options o;
+  o.queue_capacity = 1;
+  QueryService svc(o);  // never started: the admitted query sits queued
+  svc.set_obs(obs.view());
+  svc.publish(tiny_model(0.0), 0.0);
+
+  auto submit = [&svc] {
+    GraphQuery q = graph_query({"a", "b"});
+    q.deadline = 200ms;
+    return svc.get_graph(std::move(q));
+  };
+  auto f1 = std::async(std::launch::async, submit);
+  while (svc.admission().in_flight() < 1) std::this_thread::yield();
+  const GraphResponse shed = submit();
+  EXPECT_EQ(shed.meta.status, QueryStatus::kOverloaded);
+  f1.get();
+
+  EXPECT_EQ(obs.metrics
+                .counter("remos_service_queries_total",
+                         {{"status", "overloaded"}})
+                .value(),
+            svc.stats().shed);
+  bool episode = false;
+  for (const obs::Event& e : obs.recorder.dump())
+    if (e.component == "service" && e.kind == "shed_episode_begin")
+      episode = true;
+  EXPECT_TRUE(episode);
+}
+
+TEST(QueryService, TracedQueryCarriesASpanTree) {
+  QueryService svc;
+  svc.start();
+  svc.publish(tiny_model(0.0), 0.0);
+
+  GraphQuery plain = graph_query({"a", "b"});
+  EXPECT_TRUE(svc.get_graph(std::move(plain)).meta.trace.empty());
+
+  GraphQuery traced = graph_query({"a", "b"});
+  traced.trace = true;
+  const GraphResponse r = svc.get_graph(std::move(traced));
+  ASSERT_EQ(r.meta.status, QueryStatus::kAnswered);
+  ASSERT_FALSE(r.meta.trace.empty());
+  bool admission = false, pickup = false, build = false;
+  for (const obs::Span& s : r.meta.trace.spans) {
+    if (s.name == "admission") admission = true;
+    if (s.name == "snapshot_pickup") pickup = true;
+    if (s.name == "logical_build") build = true;
+  }
+  EXPECT_TRUE(admission);
+  EXPECT_TRUE(pickup);
+  EXPECT_TRUE(build);
+
+  // Flow queries trace the solver stages too.
+  FlowInfoQuery fq;
+  fq.query.fixed = {core::FlowRequest{"a", "b", mbps(5)}};
+  fq.trace = true;
+  const FlowInfoResponse fr = svc.flow_info(std::move(fq));
+  ASSERT_EQ(fr.meta.status, QueryStatus::kAnswered);
+  bool solve = false;
+  for (const obs::Span& s : fr.meta.trace.spans)
+    if (s.name == "maxmin_solve") solve = true;
+  EXPECT_TRUE(solve);
+  svc.stop();
 }
 
 TEST(QueryService, SubmitAfterStopIsAStructuredError) {
@@ -501,6 +629,20 @@ TEST(ServiceSoak, SustainedOverloadShedsButAdmittedStayWithinSlo) {
   // The admission high-water mark respected the bound.
   EXPECT_LE(svc->admission().high_water(), so.queue_capacity);
   svc->stop();
+
+  // The harness-wired per-status counters agree exactly with what the
+  // clients observed: every query is counted once, with the status its
+  // caller saw.
+  auto status_count = [&](const char* status) {
+    return h.metrics()
+        .counter("remos_service_queries_total", {{"status", status}})
+        .value();
+  };
+  EXPECT_EQ(status_count("answered"), all.answered);
+  EXPECT_EQ(status_count("stale"), all.stale);
+  EXPECT_EQ(status_count("overloaded"), all.overloaded);
+  EXPECT_EQ(status_count("expired"), all.expired);
+  EXPECT_EQ(status_count("error"), all.errors);
 }
 
 }  // namespace
