@@ -48,6 +48,11 @@ CmuHarness::CmuHarness(Options options)
     collector_.set_obs(obs_.view());
     modeler_obs_ = core::ModelerObs::resolve(obs_.view());
     modeler_.set_obs(&modeler_obs_);
+    // Ground-truth link telemetry at the collector's polling cadence:
+    // the weathermap compares these series against the measured
+    // "collector.link.*" ones the SNMP path produces.
+    sim_.enable_telemetry(obs_.series,
+                          poll_period_ > 0 ? poll_period_ : 2.0);
   }
   if (options.poll_period > 0)
     collector_.start_polling(sim_, options.poll_period);

@@ -65,6 +65,10 @@ class CmuHarness {
   obs::Observability& observability() { return obs_; }
   obs::MetricsRegistry& metrics() { return obs_.metrics; }
   obs::FlightRecorder& recorder() { return obs_.recorder; }
+  /// The telemetry history plane: ground-truth "sim.link.*", measured
+  /// "collector.link.*" and "service.*" time series accumulate here when
+  /// Options::wire_obs (dump via obs::dump_series_csv / the weathermap).
+  obs::TimeSeriesStore& series() { return obs_.series; }
 
   /// Host names (m-1..m-8).
   const std::vector<std::string>& hosts() const;

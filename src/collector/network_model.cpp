@@ -19,9 +19,22 @@ std::vector<double> LinkHistory::used_in_window(Seconds now, Seconds window,
   return out;
 }
 
+obs::WindowStats LinkHistory::used_windowed(Seconds now, Seconds window,
+                                            bool ab) const {
+  Seconds raw_oldest = std::numeric_limits<Seconds>::infinity();
+  if (!samples_.empty()) raw_oldest = samples_.front().at;
+  return rollups(ab).stitched(now, window, used_in_window(now, window, ab),
+                              raw_oldest);
+}
+
 Measurement LinkHistory::used_measurement(Seconds now, Seconds window,
                                           bool ab) const {
-  return Measurement::from_samples(used_in_window(now, window, ab));
+  return used_windowed(now, window, ab).measurement;
+}
+
+std::size_t LinkHistory::memory_bytes() const {
+  return samples_.size() * sizeof(Sample) + rollup_ab_.memory_bytes() +
+         rollup_ba_.memory_bytes();
 }
 
 ModelNode& NetworkModel::upsert_node(const std::string& name,

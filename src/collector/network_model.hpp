@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/rollup.hpp"
 #include "util/ring_buffer.hpp"
 #include "util/sharing.hpp"
 #include "util/stats.hpp"
@@ -30,12 +31,22 @@ struct Sample {
   BitsPerSec used_ba = 0;  // traffic b -> a
 };
 
-/// Bounded history of samples for one link.
+/// Bounded multi-resolution history of samples for one link: a raw ring
+/// for recent polls plus one rollup cascade per direction (10 s / 60 s
+/// quartile buckets by default), so windowed reads answer horizons far
+/// beyond the raw ring at bounded memory instead of silently truncating.
+/// Merged-in samples (merge_from) flow through record() and therefore
+/// backfill the cascades too.
 class LinkHistory {
  public:
-  explicit LinkHistory(std::size_t capacity = 256) : samples_(capacity) {}
+  explicit LinkHistory(std::size_t capacity = 256)
+      : samples_(capacity) {}
 
-  void record(Sample s) { samples_.push(s); }
+  void record(Sample s) {
+    rollup_ab_.append(s.at, s.used_ab);
+    rollup_ba_.append(s.at, s.used_ba);
+    samples_.push(s);
+  }
   std::size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
   const Sample& latest() const { return samples_.back(); }
@@ -43,15 +54,33 @@ class LinkHistory {
   const Sample& sample(std::size_t i) const { return samples_[i]; }
 
   /// Used-bandwidth samples in (now - window, now], oldest first.
-  /// window <= 0 means "everything retained".
+  /// window <= 0 means "everything retained".  Raw ring only.
   std::vector<double> used_in_window(Seconds now, Seconds window,
                                      bool ab) const;
 
-  /// Quartile measurement of used bandwidth over the window.
+  /// Windowed quartile read with covered-span semantics: windows inside
+  /// the raw ring answer exactly from samples; longer windows stitch in
+  /// rollup buckets; a window beyond all retention reports the effective
+  /// covered span with `truncated` set and accuracy discounted by the
+  /// coverage ratio.
+  obs::WindowStats used_windowed(Seconds now, Seconds window, bool ab) const;
+
+  /// Quartile measurement of used bandwidth over the window
+  /// (used_windowed().measurement).
   Measurement used_measurement(Seconds now, Seconds window, bool ab) const;
+
+  /// The per-direction rollup cascade (audit/export).
+  const obs::RollupCascade& rollups(bool ab) const {
+    return ab ? rollup_ab_ : rollup_ba_;
+  }
+
+  /// Approximate heap footprint of retained state (raw + rollups).
+  std::size_t memory_bytes() const;
 
  private:
   RingBuffer<Sample> samples_;
+  obs::RollupCascade rollup_ab_;
+  obs::RollupCascade rollup_ba_;
 };
 
 struct ModelNode {

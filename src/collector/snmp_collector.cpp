@@ -391,6 +391,16 @@ std::pair<std::size_t, std::size_t> SnmpCollector::poll_router(
         s.used_ab = router_is_a ? out_rate : in_rate;
         s.used_ba = router_is_a ? in_rate : out_rate;
         link->history.record(s);
+        // Measured-utilization history series, named to line up with the
+        // simulator's ground-truth "sim.link.<a>~<b>.<ab|ba>" series.
+        if (obs_.series && link->capacity > 0) {
+          const std::string base =
+              "collector.link." + link->a + "~" + link->b;
+          obs_.series->series(base + ".ab")
+              .append(stamp, s.used_ab / link->capacity);
+          obs_.series->series(base + ".ba")
+              .append(stamp, s.used_ba / link->capacity);
+        }
       } else {
         ++implausible_deltas_;
         implausible_counter_.inc();

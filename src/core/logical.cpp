@@ -61,7 +61,8 @@ Measurement exactish(double v) { return Measurement::exact(v); }
 
 Measurement used_for_timeframe(const collector::LinkHistory& history,
                                const Timeframe& timeframe, Seconds now,
-                               bool ab, const Predictor& predictor) {
+                               bool ab, const Predictor& predictor,
+                               obs::WindowStats* window_out) {
   switch (timeframe.kind) {
     case Timeframe::Kind::kStatic:
       return Measurement{};  // no dynamic content requested
@@ -70,8 +71,12 @@ Measurement used_for_timeframe(const collector::LinkHistory& history,
       const collector::Sample& s = history.latest();
       return Measurement::from_samples({ab ? s.used_ab : s.used_ba});
     }
-    case Timeframe::Kind::kHistory:
-      return history.used_measurement(now, timeframe.window, ab);
+    case Timeframe::Kind::kHistory: {
+      obs::WindowStats w =
+          history.used_windowed(now, timeframe.window, ab);
+      if (window_out) *window_out = w;
+      return w.measurement;
+    }
     case Timeframe::Kind::kFuture: {
       std::vector<TimedSample> series;
       for (std::size_t i = 0; i < history.size(); ++i) {

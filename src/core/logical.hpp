@@ -51,8 +51,17 @@ NetworkGraph build_logical_graph(const collector::NetworkModel& model,
 
 /// Annotation helper shared with the flow solver: the "used bandwidth"
 /// Measurement of one link direction for a timeframe.
+///
+/// kHistory windows are covered-span aware: windows longer than the raw
+/// sample ring are answered from the history's rollup cascade (stitched
+/// quartiles), and a window reaching beyond all retention reports the
+/// effective covered span through `window_out` (when non-null) with the
+/// Measurement's accuracy discounted by the coverage ratio -- a
+/// long-horizon Timeframe::history query degrades honestly instead of
+/// silently answering from the retained tail.
 Measurement used_for_timeframe(const collector::LinkHistory& history,
                                const Timeframe& timeframe, Seconds now,
-                               bool ab, const Predictor& predictor);
+                               bool ab, const Predictor& predictor,
+                               obs::WindowStats* window_out = nullptr);
 
 }  // namespace remos::core

@@ -128,6 +128,36 @@ double Simulator::cpu_load(NodeId id) const {
   return cpu_load_[static_cast<std::size_t>(id)];
 }
 
+void Simulator::enable_telemetry(obs::TimeSeriesStore& store, Seconds period) {
+  if (period <= 0)
+    throw InvalidArgument("enable_telemetry: period <= 0");
+  telemetry_.assign(dir_tx_rate_.size(), nullptr);
+  for (const Link& l : topology_.links()) {
+    const std::string base = "sim.link." + topology_.name_of(l.a) + "~" +
+                             topology_.name_of(l.b);
+    telemetry_[dir_index(l.id, true)] = &store.series(base + ".ab");
+    telemetry_[dir_index(l.id, false)] = &store.series(base + ".ba");
+  }
+  telemetry_period_ = period;
+  // First sample lands on the next period boundary strictly after now.
+  telemetry_due_ =
+      (std::floor(now_ / period) + 1.0) * period;
+}
+
+void Simulator::sample_telemetry(Seconds upto) {
+  while (telemetry_due_ <= upto) {
+    for (const Link& l : topology_.links()) {
+      if (l.capacity <= 0) continue;
+      for (bool from_a : {true, false}) {
+        const std::size_t dir = dir_index(l.id, from_a);
+        telemetry_[dir]->append(telemetry_due_,
+                                dir_tx_rate_[dir] / l.capacity);
+      }
+    }
+    telemetry_due_ += telemetry_period_;
+  }
+}
+
 double Simulator::effective_speed(NodeId id) const {
   return topology_.node(id).cpu_speed * (1.0 - cpu_load(id));
 }
@@ -188,6 +218,9 @@ void Simulator::reallocate() {
 
 void Simulator::integrate(Seconds dt) {
   if (dt <= 0) return;
+  // Rates are constant across [now, now + dt]; telemetry boundaries in
+  // this interval sample them exactly.
+  if (!telemetry_.empty()) sample_telemetry(now_ + dt);
   for (auto& [id, f] : flows_) {
     if (f.rate <= 0) continue;
     const Bytes moved = f.rate * dt / 8.0;

@@ -24,6 +24,7 @@
 #include "netsim/maxmin.hpp"
 #include "netsim/routing.hpp"
 #include "netsim/topology.hpp"
+#include "obs/timeseries.hpp"
 
 namespace remos::netsim {
 
@@ -119,6 +120,16 @@ class Simulator {
   void set_link_up(LinkId id, bool up);
   bool link_up(LinkId id) const;
 
+  /// EXTENSION (observability): records ground-truth per-link directed
+  /// utilization into `store` every `period` simulated seconds, as
+  /// series "sim.link.<a>~<b>.<ab|ba>" (utilization fraction in [0,1]).
+  /// Sampling happens at integration boundaries, where rates are exact
+  /// piecewise constants -- no event, no timer, no interaction with
+  /// run_until_flows_done stall detection.  Handles are resolved once
+  /// here; the per-sample cost is one O(1) series append per direction.
+  void enable_telemetry(obs::TimeSeriesStore& store, Seconds period);
+  void disable_telemetry() { telemetry_.clear(); }
+
   /// Competing CPU load on a compute node, in [0, 1) of one CPU: 0 =
   /// idle, 0.5 = half the cycles go elsewhere.  Host agents expose it as
   /// hrProcessorLoad; the Fx runtime's compute phases slow by 1/(1-load).
@@ -164,6 +175,8 @@ class Simulator {
   void reallocate();
   /// Moves the clock forward by dt with current rates; integrates bytes.
   void integrate(Seconds dt);
+  /// Appends telemetry samples at every period boundary in (now, upto].
+  void sample_telemetry(Seconds upto);
   /// Runs one event step, not beyond `horizon`.  Returns false when the
   /// clock reached the horizon with nothing left to do before it.
   bool step(Seconds horizon);
@@ -184,6 +197,12 @@ class Simulator {
   std::vector<double> resource_capacity_;  // 2*links + nodes
   std::vector<Bytes> dir_tx_bytes_;        // cumulative, per directed link
   std::vector<BitsPerSec> dir_tx_rate_;    // current, per directed link
+
+  // Ground-truth telemetry (empty = disabled): one resolved series
+  // handle per directed link, indexed like dir_tx_rate_.
+  std::vector<obs::TimeSeries*> telemetry_;
+  Seconds telemetry_period_ = 0;
+  Seconds telemetry_due_ = 0;
 };
 
 }  // namespace remos::netsim

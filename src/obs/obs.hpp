@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "obs/status.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace remos::obs {
@@ -18,16 +19,21 @@ namespace remos::obs {
 struct Obs {
   MetricsRegistry* metrics = nullptr;
   FlightRecorder* recorder = nullptr;
+  /// Telemetry history plane: long-horizon multi-resolution series
+  /// (instantaneous values live in `metrics`; their history lives here).
+  TimeSeriesStore* series = nullptr;
 
-  explicit operator bool() const { return metrics || recorder; }
+  explicit operator bool() const { return metrics || recorder || series; }
 };
 
-/// Owning bundle: one registry + one recorder for a whole deployment.
+/// Owning bundle: one registry + one recorder + one series store for a
+/// whole deployment.
 struct Observability {
   MetricsRegistry metrics;
   FlightRecorder recorder{512};
+  TimeSeriesStore series;
 
-  Obs view() { return Obs{&metrics, &recorder}; }
+  Obs view() { return Obs{&metrics, &recorder, &series}; }
 };
 
 }  // namespace remos::obs

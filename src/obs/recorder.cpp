@@ -62,6 +62,49 @@ std::string FlightRecorder::dump_text() const {
   return out.str();
 }
 
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FlightRecorder::dump_jsonl() const {
+  std::ostringstream out;
+  for (const Event& e : dump()) {
+    char nums[96];
+    std::snprintf(nums, sizeof nums,
+                  "\"wall_offset\":%.6f,\"model_time\":%.6f", e.wall_offset,
+                  e.model_time);
+    out << "{\"seq\":" << e.seq << "," << nums << ",\"severity\":\""
+        << to_string(e.severity) << "\",\"component\":\""
+        << json_escape(e.component) << "\",\"kind\":\"" << json_escape(e.kind)
+        << "\",\"detail\":\"" << json_escape(e.detail) << "\"}\n";
+  }
+  return out.str();
+}
+
 std::uint64_t FlightRecorder::total() const {
   std::lock_guard<std::mutex> lk(mutex_);
   return seq_;

@@ -56,6 +56,11 @@ class FlightRecorder {
   std::vector<Event> dump() const;
   /// One line per retained event, oldest to newest.
   std::string dump_text() const;
+  /// One JSON object per line ({"seq":..,"wall_offset":..,"model_time":..,
+  /// "severity":"..","component":"..","kind":"..","detail":".."}), oldest
+  /// to newest -- the machine-readable artifact weathermap and CI consume
+  /// instead of re-parsing dump_text().
+  std::string dump_jsonl() const;
 
   /// Events ever recorded (>= dump().size() once wrapped).
   std::uint64_t total() const;

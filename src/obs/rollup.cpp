@@ -1,0 +1,237 @@
+#include "obs/rollup.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace remos::obs {
+
+namespace {
+
+constexpr Seconds kTimeEps = 1e-9;
+
+double count_weighted(double a, std::size_t na, double b, std::size_t nb) {
+  const double wa = static_cast<double>(na);
+  const double wb = static_cast<double>(nb);
+  return (a * wa + b * wb) / (wa + wb);
+}
+
+}  // namespace
+
+BucketSummary summarize_bucket(Seconds start, Seconds width,
+                               const std::vector<double>& values) {
+  BucketSummary b;
+  b.start = start;
+  b.width = width;
+  if (values.empty()) return b;
+  b.count = values.size();
+  b.q = quartiles_of(values);
+  double sum = 0;
+  for (double v : values) sum += v;
+  b.mean = sum / static_cast<double>(values.size());
+  return b;
+}
+
+BucketSummary merge_buckets(const BucketSummary& a, const BucketSummary& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  BucketSummary m;
+  m.start = std::min(a.start, b.start);
+  m.width = std::max(a.end(), b.end()) - m.start;
+  m.count = a.count + b.count;
+  m.q.min = std::min(a.q.min, b.q.min);
+  m.q.max = std::max(a.q.max, b.q.max);
+  m.q.q1 = count_weighted(a.q.q1, a.count, b.q.q1, b.count);
+  m.q.median = count_weighted(a.q.median, a.count, b.q.median, b.count);
+  m.q.q3 = count_weighted(a.q.q3, a.count, b.q.q3, b.count);
+  m.mean = count_weighted(a.mean, a.count, b.mean, b.count);
+  return m;
+}
+
+Measurement to_measurement(const BucketSummary& s) {
+  Measurement m;
+  if (s.empty()) return m;
+  m.quartiles = s.q;
+  m.mean = s.mean;
+  m.samples = s.count;
+  // Same accuracy heuristic as Measurement::from_samples: saturating in
+  // sample count, discounted by relative interquartile dispersion.
+  const double count_term =
+      std::min(1.0, static_cast<double>(s.count) / 16.0);
+  const double scale = std::max(std::abs(m.mean), 1e-12);
+  const double dispersion = std::min(1.0, m.quartiles.iqr() / scale);
+  m.accuracy = count_term * (1.0 - 0.5 * dispersion);
+  return m;
+}
+
+const std::vector<RollupCascade::LevelSpec>& RollupCascade::default_levels() {
+  static const std::vector<LevelSpec> kLevels{{10.0, 360}, {60.0, 1440}};
+  return kLevels;
+}
+
+RollupCascade::RollupCascade(std::vector<LevelSpec> levels) {
+  levels_.reserve(levels.size());
+  Seconds prev = 0;
+  for (const LevelSpec& spec : levels) {
+    if (spec.width <= 0)
+      throw InvalidArgument("RollupCascade: non-positive bucket width");
+    if (spec.capacity == 0)
+      throw InvalidArgument("RollupCascade: zero bucket capacity");
+    if (prev > 0 && spec.width <= prev)
+      throw InvalidArgument("RollupCascade: widths must strictly coarsen");
+    prev = spec.width;
+    levels_.emplace_back(spec);
+  }
+}
+
+void RollupCascade::append(Seconds at, double value) {
+  if (levels_.empty()) return;
+  ++total_samples_;
+  Level& l0 = levels_.front();
+  const Seconds aligned =
+      std::floor(at / l0.spec.width) * l0.spec.width;
+  if (!l0.open_active) {
+    l0.open_active = true;
+    l0.open_start = aligned;
+  } else if (at >= l0.open_start + l0.spec.width) {
+    seal(0);
+    l0.open_active = true;
+    l0.open_start = aligned;
+  }
+  l0.scratch.push_back(value);
+  if (l0.scratch.size() >= kOpenBucketScratch) {
+    // Compact: exact partial summary, merged on seal.  Bounded scratch
+    // means bounded allocation no matter the sample rate.
+    l0.partial = merge_buckets(
+        l0.partial,
+        summarize_bucket(l0.open_start, l0.spec.width, l0.scratch));
+    l0.scratch.clear();
+  }
+}
+
+void RollupCascade::seal(std::size_t i) {
+  Level& l = levels_[i];
+  if (!l.open_active) return;
+  BucketSummary sealed_bucket = l.partial;
+  if (i == 0 && !l.scratch.empty())
+    sealed_bucket = merge_buckets(
+        sealed_bucket,
+        summarize_bucket(l.open_start, l.spec.width, l.scratch));
+  sealed_bucket.start = l.open_start;
+  sealed_bucket.width = l.spec.width;
+  l.open_active = false;
+  l.scratch.clear();
+  l.partial = BucketSummary{};
+  if (sealed_bucket.empty()) return;
+  l.ring.push(sealed_bucket);
+  if (i + 1 < levels_.size()) accept(i + 1, sealed_bucket);
+}
+
+void RollupCascade::accept(std::size_t i, const BucketSummary& sealed_bucket) {
+  Level& l = levels_[i];
+  const Seconds aligned =
+      std::floor(sealed_bucket.start / l.spec.width) * l.spec.width;
+  if (!l.open_active) {
+    l.open_active = true;
+    l.open_start = aligned;
+  } else if (sealed_bucket.start >= l.open_start + l.spec.width - kTimeEps) {
+    seal(i);
+    l.open_active = true;
+    l.open_start = aligned;
+  }
+  l.partial = merge_buckets(l.partial, sealed_bucket);
+}
+
+std::vector<BucketSummary> RollupCascade::sealed(std::size_t level) const {
+  return levels_.at(level).ring.to_vector();
+}
+
+Seconds RollupCascade::oldest_sealed() const {
+  Seconds oldest = std::numeric_limits<Seconds>::infinity();
+  for (const Level& l : levels_)
+    if (!l.ring.empty()) oldest = std::min(oldest, l.ring.front().start);
+  return oldest;
+}
+
+std::size_t RollupCascade::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const Level& l : levels_) {
+    bytes += l.ring.size() * sizeof(BucketSummary);
+    bytes += l.scratch.capacity() * sizeof(double);
+    bytes += sizeof(Level);
+  }
+  return bytes;
+}
+
+WindowStats RollupCascade::stitched(Seconds now, Seconds window,
+                                    const std::vector<double>& raw_in_window,
+                                    Seconds raw_oldest) const {
+  WindowStats out;
+  out.requested = std::max(0.0, window);
+  out.raw_samples = raw_in_window.size();
+
+  // "Everything retained" contract: answer from the raw ring alone.
+  if (window <= 0) {
+    out.measurement = Measurement::from_samples(raw_in_window);
+    out.covered = std::isinf(raw_oldest) ? 0.0
+                                         : std::max(0.0, now - raw_oldest);
+    return out;
+  }
+
+  const Seconds start = now - window;
+
+  // Fast, exact path: the raw ring reaches past the window start, so the
+  // in-window samples are the complete story (this is the pre-rollup
+  // behaviour for short windows).
+  if (raw_oldest <= start + kTimeEps) {
+    out.measurement = Measurement::from_samples(raw_in_window);
+    out.covered = window;
+    return out;
+  }
+
+  // Stitch: exact raw tail over [raw_oldest, now], then sealed buckets
+  // for the older remainder, finest level first.  `cursor` marks the
+  // oldest instant already answered for; only buckets wholly before it
+  // and wholly inside the window are taken, so no span is double
+  // counted.
+  BucketSummary acc;
+  Seconds cursor = now;
+  Seconds covered_from = now;
+  if (!raw_in_window.empty()) {
+    acc = summarize_bucket(raw_oldest, now - raw_oldest, raw_in_window);
+    cursor = raw_oldest;
+    covered_from = raw_oldest;
+  }
+  Seconds slack = 0;
+  for (std::size_t li = 0; li < levels_.size(); ++li) {
+    Seconds level_min_start = cursor;
+    bool used = false;
+    for (const BucketSummary& b : sealed(li)) {
+      if (b.empty()) continue;
+      if (b.end() > cursor + kTimeEps) continue;   // raw/finer already has it
+      if (b.start < start - kTimeEps) continue;    // straddles the window edge
+      acc = merge_buckets(acc, b);
+      level_min_start = std::min(level_min_start, b.start);
+      used = true;
+      ++out.rollup_buckets;
+    }
+    if (used) {
+      cursor = level_min_start;
+      covered_from = std::min(covered_from, level_min_start);
+      slack = levels_[li].spec.width;  // coarsest level consulted so far
+    }
+  }
+
+  out.covered = std::clamp(now - covered_from, 0.0, window);
+  // Quantization slack: a window edge falling inside a bucket loses at
+  // most one coarsest-consulted bucket of coverage without being a real
+  // truncation.
+  out.truncated = (out.requested - out.covered) > slack + kTimeEps;
+  out.measurement = to_measurement(acc);
+  // Honest accuracy: an answer covering half the requested span is worth
+  // half the confidence (paper §4.4: report the variation, don't hide it).
+  out.measurement.accuracy *= out.coverage();
+  return out;
+}
+
+}  // namespace remos::obs

@@ -1,0 +1,139 @@
+#include "obs/series_export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace remos::obs {
+
+namespace {
+
+/// Finite number in a format the exposition scraper accepts
+/// (`-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?`); non-finite values become 0.
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+void csv_row(std::ostream& out, char sep, const std::string& series,
+             const std::string& level, Seconds start, Seconds end,
+             std::size_t count, const QuartileSummary& q, double mean) {
+  out << series << sep << level << sep << num(start) << sep << num(end)
+      << sep << count << sep << num(q.min) << sep << num(q.q1) << sep
+      << num(q.median) << sep << num(q.q3) << sep << num(q.max) << sep
+      << num(mean) << "\n";
+}
+
+}  // namespace
+
+void dump_series_csv(const TimeSeriesStore& store, std::ostream& out,
+                     char sep) {
+  out << "series" << sep << "level" << sep << "start" << sep << "end" << sep
+      << "count" << sep << "min" << sep << "q1" << sep << "median" << sep
+      << "q3" << sep << "max" << sep << "mean" << "\n";
+  for (const std::string& name : store.names()) {
+    const TimeSeries* s = store.find(name);
+    if (!s) continue;
+    for (const SeriesPoint& p : s->raw(std::numeric_limits<Seconds>::max(),
+                                       0)) {
+      const QuartileSummary q{p.value, p.value, p.value, p.value, p.value};
+      csv_row(out, sep, name, "raw", p.at, p.at, 1, q, p.value);
+    }
+    for (std::size_t level = 0; level < s->level_count(); ++level) {
+      std::string width;
+      for (const BucketSummary& b : s->sealed(level)) {
+        if (width.empty()) width = num(b.width);
+        csv_row(out, sep, name, width, b.start, b.end(), b.count, b.q,
+                b.mean);
+      }
+    }
+  }
+}
+
+std::string render_series_exposition(const TimeSeriesStore& store,
+                                     Seconds now, Seconds window) {
+  std::ostringstream out;
+  out << "# HELP remos_series_window Recent-window summary per telemetry "
+         "series\n";
+  out << "# TYPE remos_series_window gauge\n";
+  for (const std::string& name : store.names()) {
+    const TimeSeries* s = store.find(name);
+    if (!s) continue;
+    const WindowStats w = s->window(now, window);
+    const std::string esc = escape_label(name);
+    auto line = [&](const char* stat, double v) {
+      out << "remos_series_window{series=\"" << esc << "\",stat=\"" << stat
+          << "\"} " << num(v) << "\n";
+    };
+    line("count", static_cast<double>(w.measurement.samples));
+    line("covered_seconds", w.covered);
+    if (w.measurement.samples == 0) continue;
+    line("min", w.measurement.quartiles.min);
+    line("q1", w.measurement.quartiles.q1);
+    line("median", w.measurement.quartiles.median);
+    line("q3", w.measurement.quartiles.q3);
+    line("max", w.measurement.quartiles.max);
+    line("mean", w.measurement.mean);
+  }
+  return out.str();
+}
+
+std::vector<double> resample_mean(const std::vector<SeriesPoint>& points,
+                                  Seconds from, Seconds to,
+                                  std::size_t cols) {
+  std::vector<double> out(cols, std::numeric_limits<double>::quiet_NaN());
+  if (cols == 0 || to <= from) return out;
+  std::vector<double> sum(cols, 0.0);
+  std::vector<std::size_t> count(cols, 0);
+  const Seconds span = to - from;
+  for (const SeriesPoint& p : points) {
+    if (p.at < from || p.at >= to) continue;
+    auto col = static_cast<std::size_t>((p.at - from) / span *
+                                        static_cast<double>(cols));
+    col = std::min(col, cols - 1);
+    sum[col] += p.value;
+    ++count[col];
+  }
+  for (std::size_t i = 0; i < cols; ++i)
+    if (count[i] > 0) out[i] = sum[i] / static_cast<double>(count[i]);
+  return out;
+}
+
+std::string sparkline(const std::vector<double>& values, double lo,
+                      double hi) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  std::string out;
+  const double span = hi - lo;
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      out += ' ';
+      continue;
+    }
+    double t = span <= 0 ? 0.0 : (v - lo) / span;
+    t = std::clamp(t, 0.0, 1.0);
+    const auto idx =
+        std::min<std::size_t>(7, static_cast<std::size_t>(t * 8.0));
+    out += kBlocks[idx];
+  }
+  return out;
+}
+
+}  // namespace remos::obs

@@ -1,0 +1,56 @@
+// Exporters over the telemetry history plane (obs/timeseries.hpp).
+//
+// Three consumers, one artifact each:
+//   - dump_series_csv: every retained datum (raw samples + sealed rollup
+//     buckets) as CSV/TSV for offline analysis and CI validation.  Fixed
+//     11-column schema; rows are grouped by series, and within one
+//     (series, level) group timestamps are strictly non-decreasing --
+//     the CI workflow parses the dump and fails on a violated invariant.
+//   - render_series_exposition: Prometheus-style text lines summarizing
+//     each series' recent window (count, covered span, five-number
+//     summary, mean), shaped to pass the same exposition scraper the
+//     PR 3 metrics block does.
+//   - sparkline/resample_mean: terminal rendering helpers for the
+//     examples/weathermap dashboard.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+
+namespace remos::obs {
+
+/// Column order of every data row:
+///   series,level,start,end,count,min,q1,median,q3,max,mean
+/// `level` is "raw" for ring samples (start == end == sample time,
+/// count 1, all five numbers the sample value) or the bucket width in
+/// seconds ("10", "60") for sealed rollup buckets.  A header row is
+/// emitted first.  `sep` switches CSV/TSV.
+void dump_series_csv(const TimeSeriesStore& store, std::ostream& out,
+                     char sep = ',');
+
+/// One exposition block over the recent window (now - window, now] of
+/// every series:
+///   remos_series_window{series="...",stat="median"} 1.25e+07
+///   ...stat in {count,covered_seconds,min,q1,median,q3,max,mean}
+/// Series with nothing in the window emit count/covered only.  Output
+/// lines satisfy `name{labels} number` with finite numbers, so the CI
+/// exposition validator accepts the block unchanged.
+std::string render_series_exposition(const TimeSeriesStore& store,
+                                     Seconds now, Seconds window);
+
+/// Buckets `points` into `cols` equal slices of [from, to) and returns
+/// the per-slice mean; empty slices yield NaN (rendered blank).
+std::vector<double> resample_mean(const std::vector<SeriesPoint>& points,
+                                  Seconds from, Seconds to,
+                                  std::size_t cols);
+
+/// Renders values as a UTF-8 block-glyph sparkline scaled to [lo, hi];
+/// non-finite values render as a space, values outside the range clamp.
+std::string sparkline(const std::vector<double>& values, double lo,
+                      double hi);
+
+}  // namespace remos::obs

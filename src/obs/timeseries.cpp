@@ -1,0 +1,122 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace remos::obs {
+
+TimeSeries::TimeSeries(Options options)
+    : raw_(options.raw_capacity), rollups_(std::move(options.levels)) {}
+
+void TimeSeries::append(Seconds at, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  raw_.push(SeriesPoint{at, value});
+  rollups_.append(at, value);
+  ++total_;
+}
+
+WindowStats TimeSeries::window(Seconds now, Seconds window) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<double> values;
+  Seconds raw_oldest = std::numeric_limits<Seconds>::infinity();
+  if (!raw_.empty()) raw_oldest = raw_.front().at;
+  for (std::size_t i = 0; i < raw_.size(); ++i) {
+    const SeriesPoint& p = raw_[i];
+    if (window > 0 && p.at <= now - window) continue;
+    if (p.at > now) continue;
+    values.push_back(p.value);
+  }
+  return rollups_.stitched(now, window, values, raw_oldest);
+}
+
+std::vector<SeriesPoint> TimeSeries::raw(Seconds now, Seconds window) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SeriesPoint> out;
+  for (std::size_t i = 0; i < raw_.size(); ++i) {
+    const SeriesPoint& p = raw_[i];
+    if (window > 0 && p.at <= now - window) continue;
+    if (p.at > now) continue;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<BucketSummary> TimeSeries::sealed(std::size_t level) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rollups_.sealed(level);
+}
+
+std::size_t TimeSeries::level_count() const { return rollups_.level_count(); }
+
+bool TimeSeries::empty() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_ == 0;
+}
+
+std::size_t TimeSeries::raw_size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return raw_.size();
+}
+
+SeriesPoint TimeSeries::latest() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (raw_.empty()) throw Error("TimeSeries: empty series");
+  return raw_.back();
+}
+
+Seconds TimeSeries::oldest() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Seconds oldest = rollups_.oldest_sealed();
+  if (!raw_.empty()) oldest = std::min(oldest, raw_.front().at);
+  return oldest;
+}
+
+std::size_t TimeSeries::total_samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::size_t TimeSeries::memory_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return raw_.size() * sizeof(SeriesPoint) + rollups_.memory_bytes();
+}
+
+TimeSeries& TimeSeriesStore::series(const std::string& name,
+                                    const TimeSeries::Options& options) {
+  if (name.empty()) throw InvalidArgument("TimeSeriesStore: empty name");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = series_.find(name);
+  if (it == series_.end())
+    it = series_.emplace(name, std::make_unique<TimeSeries>(options)).first;
+  return *it->second;
+}
+
+const TimeSeries* TimeSeriesStore::find(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> TimeSeriesStore::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, s] : series_) out.push_back(name);
+  return out;
+}
+
+std::size_t TimeSeriesStore::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return series_.size();
+}
+
+std::size_t TimeSeriesStore::memory_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t bytes = 0;
+  for (const auto& [name, s] : series_) bytes += s->memory_bytes();
+  return bytes;
+}
+
+}  // namespace remos::obs

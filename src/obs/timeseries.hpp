@@ -1,0 +1,110 @@
+// Multi-resolution telemetry time series.
+//
+// A TimeSeries is one named stream of (time, value) samples with a raw
+// ring for recent history plus a RollupCascade for long horizons: the
+// poll/publish hot path appends in O(1) amortized under a per-series
+// mutex (uncontended in the single-writer deployments this repo runs --
+// "lock-friendly", not lock-free: the critical section is a ring push
+// and an open-bucket push), and windowed reads stitch raw samples with
+// rollup buckets to answer any horizon at bounded memory, reporting the
+// effective covered span instead of silently truncating.
+//
+// A TimeSeriesStore is the deployment-wide registry: components resolve
+// a series handle once at wiring time (`store.series("service.latency_ms")`)
+// and append through the stable pointer on the hot path; exporters
+// (obs/series_export.hpp) iterate the registry for CSV dumps, the
+// Prometheus-style recent-window exposition, and the weathermap.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/rollup.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/units.hpp"
+
+namespace remos::obs {
+
+struct SeriesPoint {
+  Seconds at = 0;
+  double value = 0;
+};
+
+class TimeSeries {
+ public:
+  struct Options {
+    std::size_t raw_capacity = 256;
+    std::vector<RollupCascade::LevelSpec> levels =
+        RollupCascade::default_levels();
+  };
+
+  explicit TimeSeries(Options options);
+  TimeSeries() : TimeSeries(Options{}) {}
+
+  /// O(1) amortized; safe from any thread.
+  void append(Seconds at, double value);
+
+  /// Stitched quartile read over (now - window, now]; window <= 0 means
+  /// "everything the raw ring retains".
+  WindowStats window(Seconds now, Seconds window) const;
+
+  /// Raw samples in (now - window, now], oldest first (window <= 0:
+  /// everything retained) -- sparkline/export fodder.
+  std::vector<SeriesPoint> raw(Seconds now, Seconds window) const;
+
+  /// Sealed rollup buckets of one level, oldest first.
+  std::vector<BucketSummary> sealed(std::size_t level) const;
+  std::size_t level_count() const;
+
+  bool empty() const;
+  std::size_t raw_size() const;
+  SeriesPoint latest() const;  // throws on empty
+  /// Oldest instant any retained datum (raw or sealed) covers; +inf when
+  /// the series is empty.
+  Seconds oldest() const;
+  std::size_t total_samples() const;
+
+  /// Approximate heap footprint of retained state.
+  std::size_t memory_bytes() const;
+
+ private:
+  mutable std::mutex mutex_;
+  RingBuffer<SeriesPoint> raw_;
+  RollupCascade rollups_;
+  std::size_t total_ = 0;
+};
+
+/// Named registry of series.  Resolution takes the registry mutex once
+/// and returns a pointer that stays valid for the store's lifetime;
+/// appends through the handle never touch the registry lock.
+class TimeSeriesStore {
+ public:
+  TimeSeriesStore() = default;
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  /// Resolves (creating on first use with `options`).  Idempotent:
+  /// the same name always returns the same series.
+  TimeSeries& series(const std::string& name,
+                     const TimeSeries::Options& options = {});
+
+  /// Null when the name was never resolved.
+  const TimeSeries* find(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+
+  /// Sum of memory_bytes() over every series.
+  std::size_t memory_bytes() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<TimeSeries>> series_;
+};
+
+}  // namespace remos::obs

@@ -67,6 +67,14 @@ void QueryService::set_obs(const obs::Obs& o) {
         {}, "Wall-clock budget remaining when the answer landed");
     modeler_obs_ = core::ModelerObs::resolve(o);
   }
+  if (o.series) {
+    for (int s = 0; s < obs::kQueryStatusCount; ++s)
+      latency_series_[static_cast<std::size_t>(s)] = &o.series->series(
+          std::string("service.latency_ms.") +
+          obs::to_string(static_cast<QueryStatus>(s)));
+    shed_series_ = &o.series->series("service.shed");
+    staleness_series_ = &o.series->series("service.staleness");
+  }
   recorder_ = o.recorder;
 }
 
@@ -182,6 +190,9 @@ void QueryService::run_job(const std::shared_ptr<Pending<Response>>& state,
   const std::uint64_t us = elapsed_us(state->enqueued, done);
   r.meta.latency = std::chrono::microseconds(us);
   latency_.observe(static_cast<double>(us) * 1e-6);
+  if (obs::TimeSeries* ts =
+          latency_series_[static_cast<std::size_t>(r.meta.status)])
+    ts->append(model_now(), static_cast<double>(us) * 1e-3);
   deadline_slack_.observe(
       std::max(0.0, to_seconds(state->deadline - done)));
   admission_.release();
@@ -199,10 +210,12 @@ Response QueryService::submit(std::chrono::microseconds deadline_budget,
   Response r;
   if (!admission_.try_acquire()) {
     r.meta.status = QueryStatus::kOverloaded;
+    if (shed_series_) shed_series_->append(model_now(), 1.0);
     note_shed(true);
     count_outcome(r.meta.status);
     return r;
   }
+  if (shed_series_) shed_series_->append(model_now(), 0.0);
   note_shed(false);
 
   auto state = std::make_shared<Pending<Response>>();
@@ -265,6 +278,7 @@ Response QueryService::answer(Seconds staleness_budget, bool trace,
   r.meta.snapshot_version = snap->version;
   r.meta.snapshot_age = age;
   snapshot_age_gauge_.set(age);
+  if (staleness_series_) staleness_series_->append(now, age);
   // A fresh Modeler over the immutable snapshot: const queries, no
   // shared mutable state, nothing to lock.  The clock is pinned to the
   // model time observed at answer time, so accuracy keeps decaying

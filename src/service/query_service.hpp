@@ -259,6 +259,14 @@ class QueryService {
   obs::Histogram latency_;        // seconds, submission -> response
   obs::Histogram deadline_slack_; // seconds left when the answer landed
   std::atomic<bool> shedding_{false};  // edge detector for episode events
+
+  // History series (telemetry plane; null until set_obs with a store):
+  // per-status latency in ms, shed 0/1 per submit, snapshot staleness at
+  // answer time.  Stamped on the model clock so they line up with the
+  // simulator's and collector's link series.
+  std::array<obs::TimeSeries*, obs::kQueryStatusCount> latency_series_{};
+  obs::TimeSeries* shed_series_ = nullptr;
+  obs::TimeSeries* staleness_series_ = nullptr;
 };
 
 }  // namespace remos::service

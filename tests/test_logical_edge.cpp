@@ -160,6 +160,67 @@ TEST(LogicalEdge, FutureTimeframeFlowQueryUsesPredictor) {
   EXPECT_GT(averaged.independent->bandwidth.quartiles.median, mbps(50));
 }
 
+TEST(LogicalEdge, HistoryWindowBeyondRawRingAnswersFromRollups) {
+  // A link whose raw ring retains only 16 samples (32 s at 2 s polls)
+  // but whose rollup cascade has absorbed 800 s of them: a 320 s
+  // history window (10x the ring) must answer non-truncated, from
+  // sealed buckets, close to the raw ground truth.
+  collector::ModelLink link;
+  link.a = "r1";
+  link.b = "r2";
+  link.capacity = mbps(100);
+  link.history = collector::LinkHistory(16);
+  std::vector<TimedSample> truth;
+  Seconds t = 0;
+  for (int i = 0; i < 400; ++i) {
+    t += 2.0;
+    collector::Sample s;
+    s.at = t;
+    s.used_ab = mbps(i % 2 == 0 ? 20 : 40);
+    s.used_ba = 0;
+    link.history.record(s);
+    if (t > 800.0 - 320.0) truth.push_back({t, s.used_ab});
+  }
+
+  LastValuePredictor predictor;
+  obs::WindowStats w;
+  const Measurement m = used_for_timeframe(
+      link.history, Timeframe::history(320.0), t, true, predictor, &w);
+  EXPECT_FALSE(w.truncated);
+  EXPECT_GT(w.rollup_buckets, 0u);
+  EXPECT_NEAR(m.mean, mbps(30), mbps(2));
+  EXPECT_GE(m.quartiles.min, mbps(20) - 1.0);
+  EXPECT_LE(m.quartiles.max, mbps(40) + 1.0);
+  EXPECT_DOUBLE_EQ(m.accuracy, w.measurement.accuracy);
+}
+
+TEST(LogicalEdge, HistoryWindowPastRetentionDegradesHonestly) {
+  collector::ModelLink link;
+  link.history = collector::LinkHistory(16);
+  Seconds t = 0;
+  for (int i = 0; i < 100; ++i) {  // 200 s of data
+    t += 2.0;
+    collector::Sample s;
+    s.at = t;
+    s.used_ab = mbps(10);
+    link.history.record(s);
+  }
+  LastValuePredictor predictor;
+  obs::WindowStats covered, past;
+  const Measurement honest = used_for_timeframe(
+      link.history, Timeframe::history(150.0), t, true, predictor,
+      &covered);
+  const Measurement stretched = used_for_timeframe(
+      link.history, Timeframe::history(4000.0), t, true, predictor, &past);
+  EXPECT_FALSE(covered.truncated);
+  EXPECT_TRUE(past.truncated);
+  EXPECT_LT(past.coverage(), 0.06);
+  // Same underlying data, but the over-long request answers with a
+  // coverage-discounted accuracy instead of pretending full knowledge.
+  EXPECT_NEAR(stretched.mean, honest.mean, 1.0);
+  EXPECT_LT(stretched.accuracy, honest.accuracy * 0.1);
+}
+
 TEST(LogicalEdge, DisconnectedQueriedNodesYieldPartialGraph) {
   NetworkModel m = chain_model();
   m.upsert_node("island", false);  // no links at all

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "collector/network_model.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -144,6 +145,53 @@ TEST_P(QuartileProperty, OrderedAndBracketing) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QuartileProperty,
                          ::testing::Range<std::uint64_t>(1, 33));
+
+// -- LinkHistory covered-span semantics (the no-silent-truncation fix) --
+
+collector::LinkHistory history_with(int samples, Seconds period,
+                                    double value) {
+  collector::LinkHistory h;
+  for (int i = 1; i <= samples; ++i) {
+    collector::Sample s;
+    s.at = period * i;
+    s.used_ab = value;
+    s.used_ba = value / 2.0;
+    h.record(s);
+  }
+  return h;
+}
+
+TEST(LinkHistoryWindow, CoveredWindowIsNotTruncated) {
+  const collector::LinkHistory h = history_with(100, 2.0, 30.0);
+  const obs::WindowStats w = h.used_windowed(200.0, 150.0, true);
+  EXPECT_FALSE(w.truncated);
+  EXPECT_DOUBLE_EQ(w.coverage(), 1.0);
+  EXPECT_NEAR(w.measurement.mean, 30.0, 1e-9);
+}
+
+TEST(LinkHistoryWindow, WindowPastRetentionIsTruncatedAndDiscounted) {
+  const collector::LinkHistory h = history_with(100, 2.0, 30.0);
+  // 200 s of data, 2000 s requested: ~10% coverage.
+  const obs::WindowStats w = h.used_windowed(200.0, 2000.0, true);
+  EXPECT_TRUE(w.truncated);
+  EXPECT_NEAR(w.covered, 200.0, 10.0);
+  EXPECT_NEAR(w.coverage(), 0.1, 0.01);
+  // The measurement itself still reflects the data it saw...
+  EXPECT_NEAR(w.measurement.mean, 30.0, 1e-9);
+  // ...but its accuracy carries the coverage discount.
+  const obs::WindowStats honest = h.used_windowed(200.0, 150.0, true);
+  EXPECT_LT(w.measurement.accuracy,
+            honest.measurement.accuracy * 0.15);
+}
+
+TEST(LinkHistoryWindow, UsedMeasurementMatchesWindowedRead) {
+  const collector::LinkHistory h = history_with(50, 2.0, 12.0);
+  const Measurement m = h.used_measurement(100.0, 60.0, false);
+  const obs::WindowStats w = h.used_windowed(100.0, 60.0, false);
+  EXPECT_DOUBLE_EQ(m.mean, w.measurement.mean);
+  EXPECT_DOUBLE_EQ(m.accuracy, w.measurement.accuracy);
+  EXPECT_NEAR(m.mean, 6.0, 1e-9);
+}
 
 }  // namespace
 }  // namespace remos
