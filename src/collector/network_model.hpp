@@ -8,8 +8,10 @@
 // yields.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -114,6 +116,72 @@ struct ModelLink {
   LinkHistory history;
 };
 
+class NetworkModel;
+
+/// Integer-form routing view of a NetworkModel: node names interned to
+/// dense ids (lexicographic order), adjacency restricted to *up* links,
+/// and memoized per-source BFS parent rows (hosts do not forward).  A
+/// row answers every route from its source in O(path length), so a
+/// query over k nodes costs k BFS runs once -- not per query -- on a
+/// shared snapshot.
+///
+/// The index is immutable with respect to the model state it was built
+/// from; NetworkModel::routing_index() rebuilds it when the model's
+/// structural fingerprint (node/link sets, up flags, router flags)
+/// changes.  Row memoization is guarded by a tiny acquire/release
+/// spinlock so concurrent query workers can share one index safely.
+class RoutingIndex {
+ public:
+  /// One BFS tree: parent[v] is the predecessor of v on the route from
+  /// the source (kNoNode if unreachable, the source for itself);
+  /// via_link[v] indexes NetworkModel::links() for the edge taken.
+  struct Row {
+    std::vector<std::int32_t> parent;
+    std::vector<std::uint32_t> via_link;
+  };
+
+  static constexpr std::int32_t kNoNode = -1;
+
+  std::size_t node_count() const { return names_.size(); }
+  /// Dense id of a node name; kNoNode if unknown.
+  std::int32_t id_of(const std::string& name) const;
+  const std::string& name_of(std::int32_t id) const {
+    return names_[static_cast<std::size_t>(id)];
+  }
+  bool is_router(std::int32_t id) const {
+    return is_router_[static_cast<std::size_t>(id)] != 0;
+  }
+
+  /// The memoized BFS row from `src` (computed on first use).
+  /// Deterministic: neighbors expand in id (= name) order.
+  const Row& row_from(std::int32_t src) const;
+
+ private:
+  friend class NetworkModel;
+  void build(const NetworkModel& model);
+
+  void lock() const {
+    while (lock_.test_and_set(std::memory_order_acquire))
+      while (lock_.test(std::memory_order_relaxed)) {
+      }
+  }
+  void unlock() const { lock_.clear(std::memory_order_release); }
+
+  struct Hop {
+    std::int32_t neighbor = kNoNode;
+    std::uint32_t link = 0;  // index into NetworkModel::links()
+  };
+
+  std::vector<std::string> names_;            // id -> name, sorted
+  std::map<std::string, std::int32_t> ids_;   // name -> id
+  std::vector<char> is_router_;
+  std::vector<std::uint32_t> adj_offset_;     // CSR: per-node slice of adj_
+  std::vector<Hop> adj_;                      // neighbors, id-sorted per node
+
+  mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+  mutable std::vector<std::unique_ptr<Row>> rows_;
+};
+
 /// Discovered topology plus measurement state.  Links are unordered pairs;
 /// sample direction is stored relative to the (a, b) orientation the link
 /// was first inserted with.
@@ -149,10 +217,47 @@ class NetworkModel {
   /// history and adopt the other's samples.
   void merge_from(const NetworkModel& other);
 
+  /// The routing index for the model's current structure, built lazily
+  /// and cached.  Because links() hands out mutable references (callers
+  /// flip `up` in place), invalidation is by structural fingerprint --
+  /// an O(nodes + links) fold over the node set, link endpoints, up
+  /// flags and router flags recomputed on each call -- rather than by
+  /// mutation hooks.  Measurement updates (histories, last_update) do
+  /// not perturb the fingerprint and keep the cached index.  The
+  /// returned reference is valid until the model's structure next
+  /// changes.  Safe for concurrent readers of an immutable snapshot.
+  const RoutingIndex& routing_index() const;
+
  private:
   std::map<std::string, ModelNode> nodes_;
   std::vector<ModelLink> links_;
   std::map<std::pair<std::string, std::string>, std::size_t> link_index_;
+
+  /// Cached routing index + the fingerprint it was built under.  Copies
+  /// of a model deliberately start with a cold cache (the index holds no
+  /// model pointers, but rebuilding on first use is simpler than proving
+  /// copy equivalence).
+  struct RoutingCache {
+    RoutingCache() = default;
+    RoutingCache(const RoutingCache&) {}
+    RoutingCache& operator=(const RoutingCache&) {
+      index.reset();
+      fingerprint = 0;
+      return *this;
+    }
+
+    void lock() const {
+      while (flag.test_and_set(std::memory_order_acquire))
+        while (flag.test(std::memory_order_relaxed)) {
+        }
+    }
+    void unlock() const { flag.clear(std::memory_order_release); }
+
+    mutable std::atomic_flag flag = ATOMIC_FLAG_INIT;
+    std::shared_ptr<RoutingIndex> index;
+    std::uint64_t fingerprint = 0;
+  };
+  mutable RoutingCache routing_cache_;
 };
 
 }  // namespace remos::collector

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <map>
 #include <set>
 
@@ -15,45 +14,7 @@ namespace {
 using collector::ModelLink;
 using collector::ModelNode;
 using collector::NetworkModel;
-
-/// Adjacency with neighbor lists sorted by name, computed once per query
-/// (NetworkModel::neighbors scans every link per call, which is far too
-/// slow inside a BFS).
-using Adjacency = std::map<std::string, std::vector<std::string>>;
-
-Adjacency build_adjacency(const NetworkModel& model) {
-  Adjacency adj;
-  for (const auto& [name, node] : model.nodes()) adj[name];
-  for (const ModelLink& l : model.links()) {
-    if (!l.up) continue;  // failed links route nothing
-    adj[l.a].push_back(l.b);
-    adj[l.b].push_back(l.a);
-  }
-  for (auto& [name, neighbors] : adj)
-    std::sort(neighbors.begin(), neighbors.end());
-  return adj;
-}
-
-/// One BFS from src over the model (hosts do not forward); fills the
-/// parent map for path reconstruction.  Deterministic by name order.
-std::map<std::string, std::string> bfs_parents(const NetworkModel& model,
-                                               const Adjacency& adj,
-                                               const std::string& src) {
-  std::map<std::string, std::string> prev;
-  std::deque<std::string> frontier{src};
-  prev[src] = src;
-  while (!frontier.empty()) {
-    const std::string cur = frontier.front();
-    frontier.pop_front();
-    if (cur != src && !model.node(cur).is_router) continue;
-    for (const std::string& next : adj.at(cur)) {
-      if (prev.contains(next)) continue;
-      prev[next] = cur;
-      frontier.push_back(next);
-    }
-  }
-  return prev;
-}
+using collector::RoutingIndex;
 
 Measurement exactish(double v) { return Measurement::exact(v); }
 
@@ -104,29 +65,32 @@ NetworkGraph build_logical_graph(const NetworkModel& model,
     queried.insert(n);
   }
 
-  // 1. Relevant subgraph: union of pairwise routes.
+  // 1. Relevant subgraph: union of pairwise routes, via the model's
+  // cached RoutingIndex (memoized per-source BFS rows shared across
+  // queries on the same snapshot; one walk per pair is O(path length)).
   std::set<std::string> keep_nodes;
-  std::set<std::pair<std::string, std::string>> keep_links;
+  std::vector<char> keep_link(model.links().size(), 0);
   if (options.keep_all) {
     for (const auto& [name, n] : model.nodes()) keep_nodes.insert(name);
-    for (const ModelLink& l : model.links())
-      if (l.up)
-        keep_links.insert({std::min(l.a, l.b), std::max(l.a, l.b)});
+    for (std::size_t li = 0; li < model.links().size(); ++li)
+      if (model.links()[li].up) keep_link[li] = 1;
   } else {
-    const Adjacency adj = build_adjacency(model);
+    const RoutingIndex& index = model.routing_index();
     for (const std::string& a : queried) {
       keep_nodes.insert(a);
-      const auto parents = bfs_parents(model, adj, a);
+      const std::int32_t ia = index.id_of(a);
+      const RoutingIndex::Row& row = index.row_from(ia);
       for (const std::string& b : queried) {
         if (a >= b) continue;
-        if (!parents.contains(b)) continue;  // unreachable pair
+        const std::int32_t ib = index.id_of(b);
+        if (row.parent[static_cast<std::size_t>(ib)] == RoutingIndex::kNoNode)
+          continue;  // unreachable pair
         // Walk b back to a; every edge on the way is relevant.
-        for (std::string cur = b; cur != a;) {
-          const std::string& up = parents.at(cur);
-          keep_nodes.insert(cur);
-          keep_links.insert(
-              {std::min(cur, up), std::max(cur, up)});
-          cur = up;
+        for (std::int32_t cur = ib; cur != ia;) {
+          const auto c = static_cast<std::size_t>(cur);
+          keep_nodes.insert(index.name_of(cur));
+          keep_link[row.via_link[c]] = 1;
+          cur = row.parent[c];
         }
       }
     }
@@ -140,10 +104,10 @@ NetworkGraph build_logical_graph(const NetworkModel& model,
     SharingPolicy sharing = SharingPolicy::kUnknown;
   };
   std::vector<WorkLink> work;
-  for (const ModelLink& l : model.links()) {
+  for (std::size_t li = 0; li < model.links().size(); ++li) {
+    const ModelLink& l = model.links()[li];
     if (!l.up) continue;
-    if (!keep_links.contains({std::min(l.a, l.b), std::max(l.a, l.b)}))
-      continue;
+    if (!keep_link[li]) continue;
     WorkLink w;
     w.a = l.a;
     w.b = l.b;

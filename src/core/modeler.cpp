@@ -223,15 +223,24 @@ FlowQueryResult Modeler::flow_info(const FlowQuery& query) const {
     }
   }
 
-  // Route every flow once.
+  // Route every flow once.  Flows sharing a source (the common case in
+  // collective-communication queries) share one Dijkstra: RouteTrees are
+  // memoized per distinct source instead of re-run per flow.
   const std::size_t route_span =
       trace_ ? trace_->open("route_resolution") : 0;
+  std::map<std::string, RouteTree> route_trees;
+  const auto tree_for = [&](const std::string& src) -> const RouteTree& {
+    auto it = route_trees.find(src);
+    if (it == route_trees.end())
+      it = route_trees.emplace(src, graph.routes_from(src)).first;
+    return it->second;
+  };
   std::vector<RoutedFlow> routed(all.size());
   for (std::size_t i = 0; i < all.size(); ++i) {
     RoutedFlow& rf = routed[i];
     rf.request = all[i];
     if (!resolvable(*all[i])) continue;  // unknown endpoint: unroutable
-    const auto path = graph.route(all[i]->src, all[i]->dst);
+    const auto path = tree_for(all[i]->src).path_to(all[i]->dst);
     if (!path) continue;
     rf.routable = true;
     for (std::size_t k = 0; k < path->link_indices.size(); ++k) {
@@ -278,7 +287,7 @@ FlowQueryResult Modeler::flow_info(const FlowQuery& query) const {
       if (!known.contains(dst)) rm.routable = false;
     if (!rm.routable) continue;
     std::set<std::size_t> union_resources;
-    const RouteTree tree = graph.routes_from(mc.src);
+    const RouteTree& tree = tree_for(mc.src);
     for (const std::string& dst : mc.dsts) {
       const auto path = tree.path_to(dst);
       if (!path) {

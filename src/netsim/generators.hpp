@@ -1,0 +1,84 @@
+// Synthetic topology generators for the scale plane.
+//
+// The paper's evaluation runs on an 11-node testbed; the ROADMAP
+// north-star is a production-scale system, so these generators produce
+// deterministic 64-2048 host networks through the same Topology API the
+// hand-built testbeds use.  Three families cover the structures that
+// stress different parts of the stack:
+//
+//   - k-ary fat-tree: the canonical datacenter Clos fabric.  Many
+//     equal-cost paths, deep sharing on core links; hosts = k^3/4
+//     (k=8 -> 128 hosts, k=16 -> 1024 hosts).
+//   - dumbbell-of-N: 2N hosts squeezed through one trunk.  The worst
+//     case for incremental solving (every flow shares one component) and
+//     the best case for routing caches.
+//   - Waxman random graph: the classic ISP-like random topology
+//     (Waxman '88): routers placed in the unit square, edge probability
+//     alpha * exp(-d / (beta * L)).  Irregular degree and path
+//     diversity, seeded and fully reproducible.
+//
+// All generators are pure functions of their parameter struct: the same
+// parameters (including the seed) produce a bit-identical Topology on
+// every platform, which the round-trip and differential suites rely on.
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/topology.hpp"
+
+namespace remos::netsim {
+
+/// k-ary fat-tree (Al-Fares et al.): k pods, each with k/2 edge and k/2
+/// aggregation switches, (k/2)^2 core switches, k/2 hosts per edge
+/// switch.  Node names: hosts "h<pod>-<edge>-<i>", edge "e<pod>-<i>",
+/// aggregation "a<pod>-<i>", core "c<i>-<j>".
+struct FatTreeParams {
+  /// Arity; must be even and >= 2.  Hosts = k^3 / 4.
+  std::size_t k = 8;
+  /// Host uplink rate (host <-> edge switch).
+  BitsPerSec host_rate = mbps(1000);
+  /// Edge <-> aggregation rate.
+  BitsPerSec edge_aggr_rate = mbps(1000);
+  /// Aggregation <-> core rate.
+  BitsPerSec aggr_core_rate = mbps(1000);
+  /// One-way latency of every link.
+  Seconds hop_latency = micros(50);
+};
+Topology make_fat_tree(const FatTreeParams& params);
+
+/// Dumbbell: `hosts_per_side` hosts on each of two access switches
+/// ("sl", "sr"), joined by a trunk of `trunk_hops` links (intermediate
+/// routers "t<i>" when trunk_hops > 1).  Host names "l<i>" / "r<i>".
+struct DumbbellParams {
+  /// Hosts on each side; total hosts = 2 * hosts_per_side.  Must be >= 1.
+  std::size_t hosts_per_side = 32;
+  /// Number of links in the trunk chain; must be >= 1.
+  std::size_t trunk_hops = 1;
+  BitsPerSec access_rate = mbps(100);
+  BitsPerSec trunk_rate = mbps(1000);
+  Seconds access_latency = micros(100);
+  Seconds trunk_latency = millis(1);
+};
+Topology make_dumbbell(const DumbbellParams& params);
+
+/// Waxman-style random ISP graph: `routers` placed uniformly in the unit
+/// square (seeded), each pair linked with probability
+/// alpha * exp(-distance / (beta * sqrt(2))); disconnected components
+/// are repaired deterministically; `hosts` are attached round-robin.
+/// Router names "w<i>", host names "h<i>".  Trunk capacities are drawn
+/// from {155, 622, 2488} Mbps (OC-3/12/48); trunk latency is
+/// proportional to Euclidean distance.
+struct WaxmanParams {
+  std::size_t hosts = 64;    // >= 1
+  std::size_t routers = 16;  // >= 2
+  double alpha = 0.55;
+  double beta = 0.35;
+  BitsPerSec host_rate = mbps(100);
+  Seconds host_latency = micros(100);
+  /// Latency of a trunk spanning the full unit-square diagonal.
+  Seconds diagonal_latency = millis(10);
+  std::uint64_t seed = 1;
+};
+Topology make_waxman(const WaxmanParams& params);
+
+}  // namespace remos::netsim

@@ -34,101 +34,19 @@ MaxMinResult max_min_allocate(const std::vector<double>& capacity,
   const std::size_t nr = capacity.size();
 
   MaxMinResult out;
-  out.rates.assign(nf, 0.0);
-  out.residual = capacity;
+  out.rates.resize(nf);
+  out.residual.resize(nr);
 
-  // active[i]: flow i still grows with the water level.
-  std::vector<bool> active(nf, true);
-  // Weight and count of active flows per resource.  The count matters:
-  // subtracting weights leaves float residue (~1e-16), and a "saturated"
-  // resource with zero remaining flows but ghost weight would pin the
-  // water level forever.
-  std::vector<double> active_weight(nr, 0.0);
-  std::vector<std::size_t> active_count(nr, 0);
+  std::vector<FairShareFlowView> views(nf);
   for (std::size_t i = 0; i < nf; ++i) {
-    for (std::size_t r : flows[i].resources) {
-      active_weight[r] += flows[i].weight;
-      ++active_count[r];
-    }
+    views[i].resources = flows[i].resources.data();
+    views[i].resource_count = flows[i].resources.size();
+    views[i].weight = flows[i].weight;
+    views[i].rate_cap = flows[i].rate_cap;
   }
-
-  // Flows with no cap and no resources would grow forever; freeze them at
-  // infinity immediately (a flow across a zero-hop path is not rate
-  // limited by the network).
-  std::size_t remaining = 0;
-  for (std::size_t i = 0; i < nf; ++i) {
-    if (flows[i].resources.empty() &&
-        flows[i].rate_cap == kUnlimitedRate) {
-      out.rates[i] = kUnlimitedRate;
-      active[i] = false;
-    } else {
-      ++remaining;
-    }
-  }
-
-  double level = 0.0;  // water level: active flow i has rate weight_i*level
-  // Every iteration freezes at least one flow, so nf + 1 rounds suffice;
-  // exceeding that means a numeric-progress bug and must fail loudly
-  // rather than spin.
-  std::size_t iterations_left = nf + 2;
-  while (remaining > 0) {
-    if (iterations_left-- == 0)
-      throw Error("max_min_allocate: failed to make progress");
-    // Next event: a resource saturates or a flow hits its demand cap.
-    double next_level = kUnlimitedRate;
-    for (std::size_t r = 0; r < nr; ++r) {
-      if (active_count[r] == 0 || active_weight[r] <= 0) continue;
-      const double lvl = level + out.residual[r] / active_weight[r];
-      next_level = std::min(next_level, lvl);
-    }
-    for (std::size_t i = 0; i < nf; ++i) {
-      if (!active[i] || flows[i].rate_cap == kUnlimitedRate) continue;
-      next_level = std::min(next_level, flows[i].rate_cap / flows[i].weight);
-    }
-    if (next_level == kUnlimitedRate) {
-      // No constraint binds the remaining flows (all-infinite capacities).
-      for (std::size_t i = 0; i < nf; ++i)
-        if (active[i]) out.rates[i] = kUnlimitedRate;
-      break;
-    }
-
-    // Advance all active flows to the new level and charge resources.
-    const double delta = next_level - level;
-    if (delta > 0) {
-      for (std::size_t i = 0; i < nf; ++i) {
-        if (!active[i]) continue;
-        out.rates[i] += flows[i].weight * delta;
-        for (std::size_t r : flows[i].resources)
-          out.residual[r] -= flows[i].weight * delta;
-      }
-      for (double& res : out.residual) res = std::max(res, 0.0);
-    }
-    level = next_level;
-
-    // Freeze flows that hit their cap or sit on a saturated resource.
-    constexpr double kEps = 1e-12;
-    for (std::size_t i = 0; i < nf; ++i) {
-      if (!active[i]) continue;
-      bool freeze = flows[i].rate_cap != kUnlimitedRate &&
-                    out.rates[i] >= flows[i].rate_cap - kEps;
-      if (!freeze) {
-        for (std::size_t r : flows[i].resources) {
-          if (out.residual[r] <= kEps * std::max(1.0, capacity[r])) {
-            freeze = true;
-            break;
-          }
-        }
-      }
-      if (freeze) {
-        active[i] = false;
-        --remaining;
-        for (std::size_t r : flows[i].resources) {
-          active_weight[r] -= flows[i].weight;
-          --active_count[r];
-        }
-      }
-    }
-  }
+  FairShareScratch scratch;
+  fair_share_fill(capacity.data(), nr, views.data(), nf, out.rates.data(),
+                  out.residual.data(), scratch);
   return out;
 }
 
@@ -182,6 +100,278 @@ bool is_max_min_fair(const std::vector<double>& capacity,
     if (!justified) return false;
   }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalMaxMin
+
+void IncrementalMaxMin::reset(std::vector<double> capacity) {
+  for (double c : capacity)
+    if (c < 0 || std::isnan(c))
+      throw InvalidArgument("IncrementalMaxMin: negative/NaN capacity");
+  capacity_ = std::move(capacity);
+  residual_ = capacity_;
+  const std::size_t nr = capacity_.size();
+  slots_.clear();
+  free_slots_.clear();
+  live_flows_ = 0;
+  res_flows_.assign(nr, {});
+  dirty_resources_.clear();
+  dirty_lone_.clear();
+  res_dirty_stamp_.assign(nr, 0);
+  dirty_epoch_ = 1;
+  res_visit_stamp_.assign(nr, 0);
+  flow_visit_stamp_.clear();
+  visit_epoch_ = 0;
+  res_local_.assign(nr, 0);
+  comp_res_.clear();
+  comp_flows_.clear();
+  changed_.clear();
+  last_solved_flows_ = 0;
+  solves_ = 0;
+}
+
+void IncrementalMaxMin::validate_flow(const std::size_t* resources,
+                                      std::size_t n, double weight,
+                                      double rate_cap) const {
+  if (weight <= 0 || !std::isfinite(weight))
+    throw InvalidArgument("IncrementalMaxMin: non-positive weight");
+  if (rate_cap < 0 || std::isnan(rate_cap))
+    throw InvalidArgument("IncrementalMaxMin: negative/NaN rate cap");
+  for (std::size_t k = 0; k < n; ++k)
+    if (resources[k] >= capacity_.size())
+      throw InvalidArgument("IncrementalMaxMin: resource index out of range");
+}
+
+void IncrementalMaxMin::mark_resource_dirty(std::size_t r) {
+  if (res_dirty_stamp_[r] == dirty_epoch_) return;
+  res_dirty_stamp_[r] = dirty_epoch_;
+  dirty_resources_.push_back(r);
+}
+
+void IncrementalMaxMin::mark_lone_dirty(FlowHandle handle) {
+  dirty_lone_.push_back(handle);
+}
+
+void IncrementalMaxMin::attach(FlowHandle handle) {
+  Slot& s = slots_[handle];
+  s.pos.resize(s.resources.size());
+  for (std::size_t k = 0; k < s.resources.size(); ++k) {
+    const std::size_t r = s.resources[k];
+    s.pos[k] = static_cast<std::uint32_t>(res_flows_[r].size());
+    res_flows_[r].push_back(handle);
+    mark_resource_dirty(r);
+  }
+  if (s.resources.empty()) mark_lone_dirty(handle);
+}
+
+void IncrementalMaxMin::detach(FlowHandle handle) {
+  Slot& s = slots_[handle];
+  for (std::size_t k = 0; k < s.resources.size(); ++k) {
+    const std::size_t r = s.resources[k];
+    auto& list = res_flows_[r];
+    const std::size_t p = s.pos[k];
+    const FlowHandle moved = list.back();
+    list[p] = moved;
+    list.pop_back();
+    mark_resource_dirty(r);
+    if (p == list.size()) continue;  // removed the tail entry itself
+    // The moved flow's position record for r pointed at the old tail.
+    Slot& ms = slots_[moved];
+    for (std::size_t j = 0; j < ms.resources.size(); ++j) {
+      if (ms.resources[j] == r &&
+          ms.pos[j] == static_cast<std::uint32_t>(list.size())) {
+        ms.pos[j] = static_cast<std::uint32_t>(p);
+        break;
+      }
+    }
+  }
+}
+
+void IncrementalMaxMin::set_capacity(std::size_t resource, double value) {
+  if (resource >= capacity_.size())
+    throw InvalidArgument("IncrementalMaxMin: resource index out of range");
+  if (value < 0 || std::isnan(value))
+    throw InvalidArgument("IncrementalMaxMin: negative/NaN capacity");
+  if (capacity_[resource] == value) return;
+  capacity_[resource] = value;
+  // An idle resource's residual tracks its capacity directly (no fill
+  // will visit it if no flow ever touches it).
+  if (res_flows_[resource].empty()) {
+    residual_[resource] = value;
+    return;
+  }
+  mark_resource_dirty(resource);
+}
+
+double IncrementalMaxMin::capacity(std::size_t resource) const {
+  if (resource >= capacity_.size())
+    throw InvalidArgument("IncrementalMaxMin: resource index out of range");
+  return capacity_[resource];
+}
+
+FlowHandle IncrementalMaxMin::add_flow(const std::size_t* resources,
+                                       std::size_t n, double weight,
+                                       double rate_cap) {
+  validate_flow(resources, n, weight, rate_cap);
+  FlowHandle h;
+  if (!free_slots_.empty()) {
+    h = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    h = slots_.size();
+    slots_.emplace_back();
+    flow_visit_stamp_.push_back(0);
+  }
+  Slot& s = slots_[h];
+  s.resources.assign(resources, resources + n);
+  s.weight = weight;
+  s.rate_cap = rate_cap;
+  s.rate = 0.0;
+  s.live = true;
+  attach(h);
+  ++live_flows_;
+  return h;
+}
+
+void IncrementalMaxMin::update_flow(FlowHandle handle,
+                                    const std::size_t* resources,
+                                    std::size_t n, double weight,
+                                    double rate_cap) {
+  if (handle >= slots_.size() || !slots_[handle].live)
+    throw NotFoundError("IncrementalMaxMin: unknown flow handle");
+  validate_flow(resources, n, weight, rate_cap);
+  Slot& s = slots_[handle];
+  const bool same = s.weight == weight && s.rate_cap == rate_cap &&
+                    s.resources.size() == n &&
+                    std::equal(s.resources.begin(), s.resources.end(),
+                               resources);
+  if (same) return;
+  detach(handle);
+  s.resources.assign(resources, resources + n);
+  s.weight = weight;
+  s.rate_cap = rate_cap;
+  attach(handle);
+}
+
+void IncrementalMaxMin::remove_flow(FlowHandle handle) {
+  if (handle >= slots_.size() || !slots_[handle].live)
+    throw NotFoundError("IncrementalMaxMin: unknown flow handle");
+  detach(handle);
+  Slot& s = slots_[handle];
+  s.live = false;
+  s.rate = 0.0;
+  s.resources.clear();
+  s.pos.clear();
+  free_slots_.push_back(handle);
+  --live_flows_;
+}
+
+double IncrementalMaxMin::rate(FlowHandle handle) const {
+  if (handle >= slots_.size() || !slots_[handle].live)
+    throw NotFoundError("IncrementalMaxMin: unknown flow handle");
+  return slots_[handle].rate;
+}
+
+double IncrementalMaxMin::residual(std::size_t resource) const {
+  if (resource >= capacity_.size())
+    throw InvalidArgument("IncrementalMaxMin: resource index out of range");
+  return residual_[resource];
+}
+
+const std::vector<FlowHandle>& IncrementalMaxMin::solve() {
+  changed_.clear();
+  comp_res_.clear();
+  comp_flows_.clear();
+
+  // Resource-less flows: rate equals the demand cap, independent of the
+  // rest of the system.
+  for (FlowHandle h : dirty_lone_) {
+    if (h >= slots_.size() || !slots_[h].live) continue;
+    Slot& s = slots_[h];
+    if (!s.resources.empty()) continue;  // rebound onto resources since
+    if (s.rate != s.rate_cap) {
+      s.rate = s.rate_cap;
+      changed_.push_back(h);
+    }
+  }
+  dirty_lone_.clear();
+
+  if (!dirty_resources_.empty()) {
+    // Grow the dirty set to full connected components: alternate
+    // resource -> flows -> resources until closure.
+    ++visit_epoch_;
+    bfs_stack_.clear();
+    for (std::size_t r : dirty_resources_) {
+      if (res_visit_stamp_[r] == visit_epoch_) continue;
+      res_visit_stamp_[r] = visit_epoch_;
+      comp_res_.push_back(r);
+      bfs_stack_.push_back(r);
+    }
+    while (!bfs_stack_.empty()) {
+      const std::size_t r = bfs_stack_.back();
+      bfs_stack_.pop_back();
+      for (FlowHandle h : res_flows_[r]) {
+        if (flow_visit_stamp_[h] == visit_epoch_) continue;
+        flow_visit_stamp_[h] = visit_epoch_;
+        comp_flows_.push_back(h);
+        for (std::size_t r2 : slots_[h].resources) {
+          if (res_visit_stamp_[r2] == visit_epoch_) continue;
+          res_visit_stamp_[r2] = visit_epoch_;
+          comp_res_.push_back(r2);
+          bfs_stack_.push_back(r2);
+        }
+      }
+    }
+
+    const std::size_t nc = comp_res_.size();
+    const std::size_t nf = comp_flows_.size();
+    for (std::size_t i = 0; i < nc; ++i)
+      res_local_[comp_res_[i]] = static_cast<std::uint32_t>(i);
+    cap_local_.resize(nc);
+    residual_local_.resize(nc);
+    for (std::size_t i = 0; i < nc; ++i) cap_local_[i] = capacity_[comp_res_[i]];
+
+    // Flatten flow->resource lists into local indices; build views after
+    // the flat buffer stops growing (pointers into it must stay stable).
+    flow_res_flat_.clear();
+    views_.resize(nf);
+    rates_local_.resize(nf);
+    for (std::size_t i = 0; i < nf; ++i) {
+      const Slot& s = slots_[comp_flows_[i]];
+      views_[i].resource_count = s.resources.size();
+      views_[i].weight = s.weight;
+      views_[i].rate_cap = s.rate_cap;
+      for (std::size_t r : s.resources)
+        flow_res_flat_.push_back(res_local_[r]);
+    }
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i < nf; ++i) {
+      views_[i].resources = flow_res_flat_.data() + offset;
+      offset += views_[i].resource_count;
+    }
+
+    fair_share_fill(cap_local_.data(), nc, views_.data(), nf,
+                    rates_local_.data(), residual_local_.data(),
+                    fill_scratch_);
+
+    for (std::size_t i = 0; i < nf; ++i) {
+      Slot& s = slots_[comp_flows_[i]];
+      if (s.rate != rates_local_[i]) {
+        s.rate = rates_local_[i];
+        changed_.push_back(comp_flows_[i]);
+      }
+    }
+    for (std::size_t i = 0; i < nc; ++i)
+      residual_[comp_res_[i]] = residual_local_[i];
+
+    dirty_resources_.clear();
+    ++dirty_epoch_;
+  }
+
+  last_solved_flows_ = comp_flows_.size();
+  ++solves_;
+  return changed_;
 }
 
 }  // namespace remos::netsim

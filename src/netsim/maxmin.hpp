@@ -12,12 +12,24 @@
 // *direction* of each full-duplex link to one resource and each network
 // node with finite internal bandwidth to another, so a single solve
 // captures link sharing and switch-backplane sharing simultaneously.
+//
+// Two solvers share one progressive-filling core (util/sharing.hpp):
+//   - max_min_allocate: from-scratch batch solve.  Kept as the oracle the
+//     differential test suite compares against.
+//   - IncrementalMaxMin: maintains flows and per-resource residuals
+//     across churn (add/remove/update/capacity events) and re-solves only
+//     the connected component(s) of the flow-resource graph touched by
+//     the dirty set.  The max-min allocation is unique and decomposes
+//     over those components, so the incremental result is exact, not an
+//     approximation.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
+#include "util/sharing.hpp"
 #include "util/units.hpp"
 
 namespace remos::netsim {
@@ -60,5 +72,151 @@ MaxMinResult max_min_allocate(const std::vector<double>& capacity,
 bool is_max_min_fair(const std::vector<double>& capacity,
                      const std::vector<MaxMinFlow>& flows,
                      const std::vector<double>& rates, double eps = 1e-6);
+
+/// Handle to a flow registered with IncrementalMaxMin.  Handles are dense
+/// small integers; freed handles are recycled.
+using FlowHandle = std::size_t;
+
+inline constexpr FlowHandle kInvalidFlowHandle =
+    std::numeric_limits<std::size_t>::max();
+
+/// Incremental weighted max-min solver.
+///
+/// Mutations (add_flow / remove_flow / update_flow / set_capacity) mark
+/// the touched resources dirty; solve() grows the dirty set to the full
+/// connected component(s) of the flow-resource bipartite graph reachable
+/// from it and re-runs the shared progressive fill on those components
+/// only.  Rates of flows outside the dirty components are untouched --
+/// correctness rests on the decomposition property: no flow in a
+/// component shares a resource with a flow outside it, so the global
+/// unique max-min allocation restricted to the component equals the
+/// component-local solve.
+///
+/// Residuals and rates are recomputed from scratch within a component on
+/// every solve (never accumulated across solves), so there is no
+/// floating-point drift: the incremental allocation matches a full
+/// from-scratch solve bit-for-bit up to summation order.
+///
+/// All working storage (dirty stacks, BFS marks, component scratch, the
+/// fill buffers) is retained between solves and only ever grows, so once
+/// buffers reach their high-water mark the churn loop performs zero heap
+/// allocations -- the property the differential test asserts by
+/// instrumenting operator new.
+class IncrementalMaxMin {
+ public:
+  IncrementalMaxMin() = default;
+  explicit IncrementalMaxMin(std::vector<double> capacity) {
+    reset(std::move(capacity));
+  }
+
+  /// Discards all flows and installs a new capacity vector.
+  void reset(std::vector<double> capacity);
+
+  std::size_t resource_count() const { return capacity_.size(); }
+  std::size_t flow_count() const { return live_flows_; }
+
+  /// Changes one resource's capacity; dirties the resource.
+  void set_capacity(std::size_t resource, double value);
+  double capacity(std::size_t resource) const;
+
+  /// Registers a flow over `resources[0..n)`; returns its handle.
+  /// Validation matches max_min_allocate (positive finite weight,
+  /// non-negative cap, indices in range).
+  FlowHandle add_flow(const std::size_t* resources, std::size_t n,
+                      double weight, double rate_cap = kUnlimitedRate);
+  FlowHandle add_flow(const MaxMinFlow& flow) {
+    return add_flow(flow.resources.data(), flow.resources.size(), flow.weight,
+                    flow.rate_cap);
+  }
+
+  /// Rebinds an existing flow (reroute / weight / cap change).  A call
+  /// that changes nothing is a no-op and dirties nothing.
+  void update_flow(FlowHandle handle, const std::size_t* resources,
+                   std::size_t n, double weight,
+                   double rate_cap = kUnlimitedRate);
+
+  /// Unregisters a flow; its resources become dirty, the handle is
+  /// recycled by a later add_flow.
+  void remove_flow(FlowHandle handle);
+
+  /// True if any mutation since the last solve() needs resolving.
+  bool dirty() const {
+    return !dirty_resources_.empty() || !dirty_lone_.empty();
+  }
+
+  /// Re-solves the dirty components.  Returns the handles of flows whose
+  /// rate changed (valid until the next mutation or solve).  Cheap no-op
+  /// when nothing is dirty.
+  const std::vector<FlowHandle>& solve();
+
+  /// Current allocated rate of a live flow.
+  double rate(FlowHandle handle) const;
+  /// Remaining capacity of a resource (as of the last solve touching it).
+  double residual(std::size_t resource) const;
+
+  /// Resources that were part of the component(s) re-solved by the last
+  /// solve() -- exactly the set whose residuals may have changed.
+  const std::vector<std::size_t>& last_solved_resources() const {
+    return comp_res_;
+  }
+  /// Number of flows in the component(s) the last solve() re-ran the fill
+  /// over (the cost driver; 0 when the solve was a no-op).
+  std::size_t last_solved_flows() const { return last_solved_flows_; }
+  /// Total solve() calls since reset (introspection for bench/tests).
+  std::uint64_t solves() const { return solves_; }
+
+ private:
+  struct Slot {
+    std::vector<std::size_t> resources;
+    // pos[k]: index of this flow within res_flows_[resources[k]], kept
+    // exact under swap-removal so detach is O(degree).
+    std::vector<std::uint32_t> pos;
+    double weight = 1.0;
+    double rate_cap = kUnlimitedRate;
+    double rate = 0.0;
+    bool live = false;
+  };
+
+  void validate_flow(const std::size_t* resources, std::size_t n,
+                     double weight, double rate_cap) const;
+  /// Inserts `handle` into its resources' flow lists and dirties them.
+  void attach(FlowHandle handle);
+  /// Swap-removes `handle` from its resources' flow lists.
+  void detach(FlowHandle handle);
+  void mark_resource_dirty(std::size_t r);
+  void mark_lone_dirty(FlowHandle handle);
+
+  std::vector<double> capacity_;
+  std::vector<double> residual_;
+  std::vector<Slot> slots_;
+  std::vector<FlowHandle> free_slots_;
+  std::size_t live_flows_ = 0;
+  // res_flows_[r]: handles of live flows using resource r (unordered).
+  std::vector<std::vector<FlowHandle>> res_flows_;
+
+  // Dirty tracking, deduplicated by epoch stamps (cleared lazily).
+  std::vector<std::size_t> dirty_resources_;
+  std::vector<FlowHandle> dirty_lone_;  // resource-less flows
+  std::vector<std::uint64_t> res_dirty_stamp_;
+  std::uint64_t dirty_epoch_ = 1;
+
+  // Solve-time scratch: component discovery and local fill inputs.
+  std::vector<std::uint64_t> res_visit_stamp_;
+  std::vector<std::uint64_t> flow_visit_stamp_;
+  std::uint64_t visit_epoch_ = 0;
+  std::vector<std::uint32_t> res_local_;   // global resource -> local index
+  std::vector<std::size_t> comp_res_;      // component resources (global)
+  std::vector<FlowHandle> comp_flows_;     // component flows (handles)
+  std::vector<std::size_t> bfs_stack_;     // resources pending expansion
+  std::vector<double> cap_local_;
+  std::vector<double> rates_local_;
+  std::vector<double> residual_local_;
+  std::vector<std::size_t> flow_res_flat_;  // local indices, all flows
+  std::vector<FairShareFlowView> views_;
+  FairShareScratch fill_scratch_;
+  std::vector<FlowHandle> changed_;
+  std::size_t last_solved_flows_ = 0;
+  std::uint64_t solves_ = 0;
+};
 
 }  // namespace remos::netsim

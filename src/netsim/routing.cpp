@@ -33,106 +33,133 @@ RoutingTable::RoutingTable(const Topology& topology)
 
 RoutingTable::RoutingTable(const Topology& topology,
                            const std::vector<bool>& link_enabled)
-    : topology_(&topology), n_(topology.node_count()) {
-  if (link_enabled.size() != topology.link_count())
+    : topology_(&topology),
+      link_enabled_(link_enabled),
+      n_(topology.node_count()),
+      rows_(topology.node_count()) {
+  if (link_enabled_.size() != topology.link_count())
     throw InvalidArgument("RoutingTable: link_enabled size mismatch");
-  paths_.resize(n_ * n_);
-  for (std::size_t s = 0; s < n_; ++s) {
-    const auto src = static_cast<NodeId>(s);
-    std::vector<Cost> best(n_);
-    std::vector<NodeId> prev_node(n_, kInvalidNode);
-    std::vector<LinkId> prev_link(n_, kInvalidLink);
-    best[s] = Cost{0, 0};
-
-    using QueueEntry = std::pair<Cost, NodeId>;
-    auto cmp = [](const QueueEntry& a, const QueueEntry& b) {
-      if (b.first < a.first) return true;
-      if (a.first < b.first) return false;
-      return a.second > b.second;  // deterministic: lower id first
-    };
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>, decltype(cmp)>
-        queue(cmp);
-    queue.push({best[s], src});
-
-    while (!queue.empty()) {
-      const auto [cost, u] = queue.top();
-      queue.pop();
-      if (best[static_cast<std::size_t>(u)] < cost) continue;
-      // Compute nodes do not forward: only the source expands from a host.
-      if (u != src && topology.node(u).kind == NodeKind::kCompute) continue;
-      for (LinkId lid : topology.links_at(u)) {
-        if (!link_enabled[static_cast<std::size_t>(lid)]) continue;
-        const Link& l = topology.link(lid);
-        const NodeId v = l.other(u);
-        const Cost cand{cost.hops + 1, cost.latency + l.latency};
-        auto& bv = best[static_cast<std::size_t>(v)];
-        const bool better = cand < bv;
-        // Equal-cost tie-break: prefer the predecessor with the smaller id
-        // so the chosen path is unique and stable.
-        const bool tie_wins =
-            cand == bv && u < prev_node[static_cast<std::size_t>(v)];
-        if (better || tie_wins) {
-          bv = cand;
-          prev_node[static_cast<std::size_t>(v)] = u;
-          prev_link[static_cast<std::size_t>(v)] = lid;
-          queue.push({cand, v});
-        }
-      }
-    }
-
-    for (std::size_t d = 0; d < n_; ++d) {
-      const auto dst = static_cast<NodeId>(d);
-      Path& p = paths_[s * n_ + d];
-      if (s == d) {
-        p.nodes = {src};
-        continue;
-      }
-      if (prev_node[d] == kInvalidNode) continue;  // unreachable
-      NodeId cur = dst;
-      while (cur != src) {
-        p.nodes.push_back(cur);
-        p.links.push_back(prev_link[static_cast<std::size_t>(cur)]);
-        cur = prev_node[static_cast<std::size_t>(cur)];
-      }
-      p.nodes.push_back(src);
-      std::reverse(p.nodes.begin(), p.nodes.end());
-      std::reverse(p.links.begin(), p.links.end());
-    }
-  }
 }
 
-const Path& RoutingTable::route(NodeId src, NodeId dst) const {
-  const Path& p = paths_[index(src, dst)];
-  if (!p.valid())
+const RoutingTable::Row& RoutingTable::row_for(NodeId src) const {
+  const auto s = static_cast<std::size_t>(src);
+  if (rows_[s]) return *rows_[s];
+
+  const Topology& topology = *topology_;
+  auto row = std::make_unique<Row>();
+  row->prev_node.assign(n_, kInvalidNode);
+  row->prev_link.assign(n_, kInvalidLink);
+  std::vector<Cost> best(n_);
+  best[s] = Cost{0, 0};
+
+  using QueueEntry = std::pair<Cost, NodeId>;
+  auto cmp = [](const QueueEntry& a, const QueueEntry& b) {
+    if (b.first < a.first) return true;
+    if (a.first < b.first) return false;
+    return a.second > b.second;  // deterministic: lower id first
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, decltype(cmp)>
+      queue(cmp);
+  queue.push({best[s], src});
+
+  while (!queue.empty()) {
+    const auto [cost, u] = queue.top();
+    queue.pop();
+    if (best[static_cast<std::size_t>(u)] < cost) continue;
+    // Compute nodes do not forward: only the source expands from a host.
+    if (u != src && topology.node(u).kind == NodeKind::kCompute) continue;
+    for (LinkId lid : topology.links_at(u)) {
+      if (!link_enabled_[static_cast<std::size_t>(lid)]) continue;
+      const Link& l = topology.link(lid);
+      const NodeId v = l.other(u);
+      const Cost cand{cost.hops + 1, cost.latency + l.latency};
+      auto& bv = best[static_cast<std::size_t>(v)];
+      const bool better = cand < bv;
+      // Equal-cost tie-break: prefer the predecessor with the smaller id
+      // so the chosen path is unique and stable.
+      const bool tie_wins =
+          cand == bv && u < row->prev_node[static_cast<std::size_t>(v)];
+      if (better || tie_wins) {
+        bv = cand;
+        row->prev_node[static_cast<std::size_t>(v)] = u;
+        row->prev_link[static_cast<std::size_t>(v)] = lid;
+        queue.push({cand, v});
+      }
+    }
+  }
+
+  rows_[s] = std::move(row);
+  ++rows_built_;
+  return *rows_[s];
+}
+
+Path RoutingTable::route(NodeId src, NodeId dst) const {
+  check(src, dst);
+  Path p;
+  if (src == dst) {
+    p.nodes = {src};
+    return p;
+  }
+  const Row& row = row_for(src);
+  const auto d = static_cast<std::size_t>(dst);
+  if (row.prev_node[d] == kInvalidNode)
     throw NotFoundError("no route from " + topology_->name_of(src) + " to " +
                         topology_->name_of(dst));
+  NodeId cur = dst;
+  while (cur != src) {
+    p.nodes.push_back(cur);
+    p.links.push_back(row.prev_link[static_cast<std::size_t>(cur)]);
+    cur = row.prev_node[static_cast<std::size_t>(cur)];
+  }
+  p.nodes.push_back(src);
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  std::reverse(p.links.begin(), p.links.end());
   return p;
 }
 
 bool RoutingTable::reachable(NodeId src, NodeId dst) const {
-  return paths_[index(src, dst)].valid();
+  check(src, dst);
+  if (src == dst) return true;
+  return row_for(src).prev_node[static_cast<std::size_t>(dst)] !=
+         kInvalidNode;
 }
 
 Seconds RoutingTable::path_latency(NodeId src, NodeId dst) const {
-  const Path& p = route(src, dst);
+  check(src, dst);
+  if (src == dst) return 0;
+  const Row& row = row_for(src);
+  if (row.prev_node[static_cast<std::size_t>(dst)] == kInvalidNode)
+    throw NotFoundError("no route from " + topology_->name_of(src) + " to " +
+                        topology_->name_of(dst));
   Seconds total = 0;
-  for (LinkId lid : p.links) total += topology_->link(lid).latency;
+  for (NodeId cur = dst; cur != src;
+       cur = row.prev_node[static_cast<std::size_t>(cur)])
+    total += topology_->link(row.prev_link[static_cast<std::size_t>(cur)])
+                 .latency;
   return total;
 }
 
 BitsPerSec RoutingTable::path_capacity(NodeId src, NodeId dst) const {
-  const Path& p = route(src, dst);
+  check(src, dst);
   BitsPerSec cap = std::numeric_limits<BitsPerSec>::infinity();
-  for (LinkId lid : p.links)
-    cap = std::min(cap, topology_->link(lid).capacity);
+  if (src == dst) return cap;
+  const Row& row = row_for(src);
+  if (row.prev_node[static_cast<std::size_t>(dst)] == kInvalidNode)
+    throw NotFoundError("no route from " + topology_->name_of(src) + " to " +
+                        topology_->name_of(dst));
+  for (NodeId cur = dst; cur != src;
+       cur = row.prev_node[static_cast<std::size_t>(cur)])
+    cap = std::min(
+        cap,
+        topology_->link(row.prev_link[static_cast<std::size_t>(cur)])
+            .capacity);
   return cap;
 }
 
-std::size_t RoutingTable::index(NodeId src, NodeId dst) const {
+void RoutingTable::check(NodeId src, NodeId dst) const {
   if (src < 0 || dst < 0 || static_cast<std::size_t>(src) >= n_ ||
       static_cast<std::size_t>(dst) >= n_)
     throw NotFoundError("RoutingTable: node id out of range");
-  return static_cast<std::size_t>(src) * n_ + static_cast<std::size_t>(dst);
 }
 
 }  // namespace remos::netsim

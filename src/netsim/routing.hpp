@@ -1,13 +1,24 @@
 // Static shortest-path routing over a Topology.
 //
-// Routes are computed once from the topology (IP-style static routing on
-// the paper's testbed): shortest by hop count, ties broken by lower total
+// Routes are computed from the topology (IP-style static routing on the
+// paper's testbed): shortest by hop count, ties broken by lower total
 // latency, then by lexicographically smallest node-id sequence so routing
 // is fully deterministic.  Compute nodes never forward traffic -- interior
 // path nodes must be network nodes (hosts are stub-attached, as on the CMU
 // testbed).
+//
+// Scale plane: instead of materializing all n^2 Path objects up front
+// (quadratic memory and O(n^2 * pathlen) build time, prohibitive at
+// 1024+ hosts), the table keeps one next-hop row per *source* --
+// predecessor node + predecessor link for every destination, exactly the
+// Dijkstra output -- computed lazily on first use and memoized.  route()
+// reconstructs the Path from the row in O(path length).  The table is
+// immutable with respect to the topology snapshot it was built from;
+// topology changes (link up/down) build a fresh table, which drops every
+// cached row at once.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "netsim/topology.hpp"
@@ -25,7 +36,8 @@ struct Path {
   bool valid() const { return !nodes.empty(); }
 };
 
-/// All-pairs route table, precomputed by per-source Dijkstra.
+/// Route table with per-source next-hop rows, built lazily by per-source
+/// Dijkstra and cached for the lifetime of the table.
 class RoutingTable {
  public:
   explicit RoutingTable(const Topology& topology);
@@ -35,8 +47,9 @@ class RoutingTable {
   RoutingTable(const Topology& topology,
                const std::vector<bool>& link_enabled);
 
-  /// Route from src to dst; throws NotFoundError if dst is unreachable.
-  const Path& route(NodeId src, NodeId dst) const;
+  /// Route from src to dst, reconstructed from the source's next-hop row
+  /// in O(path length); throws NotFoundError if dst is unreachable.
+  Path route(NodeId src, NodeId dst) const;
 
   /// True if dst is reachable from src.
   bool reachable(NodeId src, NodeId dst) const;
@@ -47,12 +60,27 @@ class RoutingTable {
   /// Minimum link capacity along the route (static bottleneck).
   BitsPerSec path_capacity(NodeId src, NodeId dst) const;
 
+  /// Number of per-source rows computed so far (cache introspection;
+  /// at most node_count).
+  std::size_t cached_sources() const { return rows_built_; }
+
  private:
-  std::size_t index(NodeId src, NodeId dst) const;
+  /// Per-source Dijkstra output: predecessor node and the link taken to
+  /// reach each destination (kInvalidNode where unreachable).
+  struct Row {
+    std::vector<NodeId> prev_node;
+    std::vector<LinkId> prev_link;
+  };
+
+  void check(NodeId src, NodeId dst) const;
+  /// The memoized row for src, running Dijkstra on first use.
+  const Row& row_for(NodeId src) const;
 
   const Topology* topology_;
+  std::vector<bool> link_enabled_;
   std::size_t n_;
-  std::vector<Path> paths_;  // n*n entries; invalid Path if unreachable
+  mutable std::vector<std::unique_ptr<Row>> rows_;
+  mutable std::size_t rows_built_ = 0;
 };
 
 }  // namespace remos::netsim

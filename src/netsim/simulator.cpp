@@ -30,6 +30,7 @@ Simulator::Simulator(Topology topology)
   }
   dir_tx_bytes_.assign(2 * nl, 0.0);
   dir_tx_rate_.assign(2 * nl, 0.0);
+  solver_.reset(resource_capacity_);
 }
 
 FlowId Simulator::start_flow(NodeId src, NodeId dst, FlowOptions options,
@@ -59,7 +60,8 @@ FlowId Simulator::start_flow(NodeId src, NodeId dst, FlowOptions options,
                         topology_.name_of(dst));
   }
   const FlowId id = f.id;
-  flows_.emplace(id, std::move(f));
+  auto it = flows_.emplace(id, std::move(f)).first;
+  if (!it->second.stalled) attach_solver(it->second);
   allocation_dirty_ = true;
   return id;
 }
@@ -99,14 +101,44 @@ bool Simulator::any_link_down() const {
   return false;
 }
 
+void Simulator::attach_solver(Flow& f) {
+  f.solver_handle = solver_.add_flow(f.resources.data(), f.resources.size(),
+                                     f.options.weight, f.options.demand_cap);
+  if (slot_owner_.size() <= f.solver_handle)
+    slot_owner_.resize(f.solver_handle + 1, -1);
+  slot_owner_[f.solver_handle] = f.id;
+}
+
+void Simulator::detach_solver(Flow& f) {
+  if (f.solver_handle == kInvalidFlowHandle) return;
+  solver_.remove_flow(f.solver_handle);
+  slot_owner_[f.solver_handle] = -1;
+  f.solver_handle = kInvalidFlowHandle;
+}
+
 void Simulator::set_link_up(LinkId id, bool up) {
   const Link& link = topology_.link(id);  // bounds check
   if (link_up_[static_cast<std::size_t>(id)] == up) return;
   link_up_[static_cast<std::size_t>(id)] = up;
-  resource_capacity_[dir_index(id, true)] = up ? link.capacity : 0.0;
-  resource_capacity_[dir_index(id, false)] = up ? link.capacity : 0.0;
+  const double dir_cap = up ? link.capacity : 0.0;
+  resource_capacity_[dir_index(id, true)] = dir_cap;
+  resource_capacity_[dir_index(id, false)] = dir_cap;
+  solver_.set_capacity(dir_index(id, true), dir_cap);
+  solver_.set_capacity(dir_index(id, false), dir_cap);
   routing_ = RoutingTable(topology_, link_up_);
-  for (auto& [fid, flow] : flows_) bind_path(flow);
+  for (auto& [fid, flow] : flows_) {
+    bind_path(flow);
+    if (flow.stalled) {
+      detach_solver(flow);
+      flow.rate = 0.0;
+    } else if (flow.solver_handle != kInvalidFlowHandle) {
+      solver_.update_flow(flow.solver_handle, flow.resources.data(),
+                          flow.resources.size(), flow.options.weight,
+                          flow.options.demand_cap);
+    } else {
+      attach_solver(flow);
+    }
+  }
   allocation_dirty_ = true;
 }
 
@@ -163,7 +195,11 @@ double Simulator::effective_speed(NodeId id) const {
 }
 
 void Simulator::stop_flow(FlowId id) {
-  if (flows_.erase(id) > 0) allocation_dirty_ = true;
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  detach_solver(it->second);
+  flows_.erase(it);
+  allocation_dirty_ = true;
 }
 
 bool Simulator::flow_active(FlowId id) const { return flows_.contains(id); }
@@ -196,22 +232,18 @@ void Simulator::schedule(Seconds at, Callback fn) {
 }
 
 void Simulator::reallocate() {
-  std::vector<MaxMinFlow> specs;
-  specs.reserve(flows_.size());
-  for (const auto& [id, f] : flows_) {
-    if (f.stalled) continue;
-    MaxMinFlow spec;
-    spec.resources = f.resources;
-    spec.weight = f.options.weight;
-    spec.rate_cap = f.options.demand_cap;
-    specs.push_back(std::move(spec));
+  // Re-solve only the dirty components; flows and directed links outside
+  // them keep their rates untouched (residuals are recomputed inside the
+  // component on every solve, so nothing drifts).
+  for (const FlowHandle h : solver_.solve()) {
+    auto it = flows_.find(slot_owner_[h]);
+    if (it == flows_.end()) continue;
+    it->second.rate = solver_.rate(h);
   }
-  const MaxMinResult result = max_min_allocate(resource_capacity_, specs);
-  std::fill(dir_tx_rate_.begin(), dir_tx_rate_.end(), 0.0);
-  std::size_t i = 0;
-  for (auto& [id, f] : flows_) {
-    f.rate = f.stalled ? 0.0 : result.rates[i++];
-    for (std::size_t dir : f.tx_dirs) dir_tx_rate_[dir] += f.rate;
+  const std::size_t ndirs = dir_tx_rate_.size();
+  for (const std::size_t r : solver_.last_solved_resources()) {
+    if (r >= ndirs) continue;  // node backplane resource, not a link dir
+    dir_tx_rate_[r] = std::max(0.0, resource_capacity_[r] - solver_.residual(r));
   }
   allocation_dirty_ = false;
 }
@@ -259,6 +291,7 @@ bool Simulator::step(Seconds horizon) {
     if (f.options.volume != kUnboundedVolume &&
         f.sent >= f.options.volume * (1.0 - kDoneEps)) {
       f.sent = f.options.volume;
+      detach_solver(f);
       finished.push_back(std::move(f));
       it = flows_.erase(it);
       allocation_dirty_ = true;

@@ -2,11 +2,13 @@
 //
 // The simulator advances a virtual clock over a Topology.  Traffic is
 // modeled as flows: piecewise-constant-rate streams between compute
-// nodes.  Whenever the flow set changes, the global weighted max-min fair
-// allocation is recomputed over all directed-link and node-backplane
-// resources; between such events, rates are constant and byte counters
-// (per flow and per link direction, the basis of the SNMP ifTable) are
-// integrated exactly.
+// nodes.  Whenever the flow set changes, the weighted max-min fair
+// allocation over all directed-link and node-backplane resources is
+// brought up to date incrementally (IncrementalMaxMin re-solves only the
+// connected components of the flow-resource graph the change touched --
+// exact, not approximate); between such events, rates are constant and
+// byte counters (per flow and per link direction, the basis of the SNMP
+// ifTable) are integrated exactly.
 //
 // This is the substitution for the paper's physical CMU testbed: the
 // observable quantities Remos consumes -- per-link utilization and the
@@ -151,6 +153,9 @@ class Simulator {
     BitsPerSec rate = 0;
     Seconds started = 0;
     bool stalled = false;  // no route between endpoints right now
+    /// Registration with the incremental solver; kInvalidFlowHandle while
+    /// stalled (stalled flows are not part of the allocation problem).
+    FlowHandle solver_handle = kInvalidFlowHandle;
   };
 
   struct Timer {
@@ -172,6 +177,12 @@ class Simulator {
   /// when its endpoints are disconnected.
   void bind_path(Flow& flow);
   bool any_link_down() const;
+  /// Registers a non-stalled flow with the incremental solver.
+  void attach_solver(Flow& flow);
+  /// Unregisters a flow from the solver (no-op if not registered).
+  void detach_solver(Flow& flow);
+  /// Re-solves the dirty components of the allocation and refreshes the
+  /// affected flows' rates and directed-link aggregate rates.
   void reallocate();
   /// Moves the clock forward by dt with current rates; integrates bytes.
   void integrate(Seconds dt);
@@ -197,6 +208,12 @@ class Simulator {
   std::vector<double> resource_capacity_;  // 2*links + nodes
   std::vector<Bytes> dir_tx_bytes_;        // cumulative, per directed link
   std::vector<BitsPerSec> dir_tx_rate_;    // current, per directed link
+
+  /// Incremental max-min state shared across flow events: only the
+  /// components touched since the last solve are recomputed.
+  IncrementalMaxMin solver_;
+  /// Reverse map solver handle -> FlowId for applying changed rates.
+  std::vector<FlowId> slot_owner_;
 
   // Ground-truth telemetry (empty = disabled): one resolved series
   // handle per directed link, indexed like dir_tx_rate_.

@@ -1,5 +1,9 @@
 #include "util/sharing.hpp"
 
+#include <algorithm>
+
+#include "util/error.hpp"
+
 namespace remos {
 
 std::string to_string(SharingPolicy policy) {
@@ -12,6 +16,133 @@ std::string to_string(SharingPolicy policy) {
       return "weighted-share";
   }
   return "?";
+}
+
+void FairShareScratch::reserve(std::size_t flows, std::size_t resources) {
+  active.reserve(flows);
+  active_weight.reserve(resources);
+  active_count.reserve(resources);
+}
+
+void fair_share_fill(const double* capacity, std::size_t resource_count,
+                     const FairShareFlowView* flows, std::size_t flow_count,
+                     double* rates, double* residual,
+                     FairShareScratch& scratch) {
+  const std::size_t nf = flow_count;
+  const std::size_t nr = resource_count;
+
+  for (std::size_t i = 0; i < nf; ++i) rates[i] = 0.0;
+  for (std::size_t r = 0; r < nr; ++r) residual[r] = capacity[r];
+
+  // active[i]: flow i still grows with the water level.
+  auto& active = scratch.active;
+  active.assign(nf, 1);
+  // Weight and count of active flows per resource.  The count matters:
+  // subtracting weights leaves float residue (~1e-16), and a "saturated"
+  // resource with zero remaining flows but ghost weight would pin the
+  // water level forever.
+  auto& active_weight = scratch.active_weight;
+  auto& active_count = scratch.active_count;
+  active_weight.assign(nr, 0.0);
+  active_count.assign(nr, 0);
+  for (std::size_t i = 0; i < nf; ++i) {
+    const FairShareFlowView& f = flows[i];
+    for (std::size_t k = 0; k < f.resource_count; ++k) {
+      active_weight[f.resources[k]] += f.weight;
+      ++active_count[f.resources[k]];
+    }
+  }
+
+  // Flows with no cap and no resources would grow forever; freeze them at
+  // infinity immediately (a flow across a zero-hop path is not rate
+  // limited by the network).
+  std::size_t remaining = 0;
+  for (std::size_t i = 0; i < nf; ++i) {
+    if (flows[i].resource_count == 0 &&
+        flows[i].rate_cap == kUnlimitedShare) {
+      rates[i] = kUnlimitedShare;
+      active[i] = 0;
+    } else {
+      ++remaining;
+    }
+  }
+
+  double level = 0.0;  // water level: active flow i has rate weight_i*level
+  // Every iteration freezes at least one flow, so nf + 1 rounds suffice;
+  // exceeding that means a numeric-progress bug and must fail loudly
+  // rather than spin.
+  std::size_t iterations_left = nf + 2;
+  while (remaining > 0) {
+    if (iterations_left-- == 0)
+      throw Error("fair_share_fill: failed to make progress");
+    // Next event: a resource saturates or a flow hits its demand cap.
+    double next_level = kUnlimitedShare;
+    for (std::size_t r = 0; r < nr; ++r) {
+      if (active_count[r] == 0 || active_weight[r] <= 0) continue;
+      const double lvl = level + residual[r] / active_weight[r];
+      next_level = std::min(next_level, lvl);
+    }
+    for (std::size_t i = 0; i < nf; ++i) {
+      if (!active[i] || flows[i].rate_cap == kUnlimitedShare) continue;
+      next_level = std::min(next_level, flows[i].rate_cap / flows[i].weight);
+    }
+    if (next_level == kUnlimitedShare) {
+      // No constraint binds the remaining flows (all-infinite capacities).
+      for (std::size_t i = 0; i < nf; ++i)
+        if (active[i]) rates[i] = kUnlimitedShare;
+      break;
+    }
+
+    // Advance all active flows to the new level and charge resources.
+    const double delta = next_level - level;
+    if (delta > 0) {
+      for (std::size_t i = 0; i < nf; ++i) {
+        if (!active[i]) continue;
+        const FairShareFlowView& f = flows[i];
+        rates[i] += f.weight * delta;
+        for (std::size_t k = 0; k < f.resource_count; ++k)
+          residual[f.resources[k]] -= f.weight * delta;
+      }
+      for (std::size_t r = 0; r < nr; ++r)
+        residual[r] = std::max(residual[r], 0.0);
+    }
+    level = next_level;
+
+    // Freeze flows that hit their cap or sit on a saturated resource.
+    // Both thresholds are relative to the quantity's own magnitude: the
+    // water-fill accumulates rates as sums of weight*delta, whose
+    // rounding residue scales with the value (at bits/sec magnitudes an
+    // absolute epsilon would never trigger and the loop would stall).
+    constexpr double kEps = 1e-12;
+    for (std::size_t i = 0; i < nf; ++i) {
+      if (!active[i]) continue;
+      const FairShareFlowView& f = flows[i];
+      const bool cap_bound =
+          f.rate_cap != kUnlimitedShare &&
+          rates[i] >= f.rate_cap - kEps * std::max(1.0, f.rate_cap);
+      bool freeze = cap_bound;
+      if (!freeze) {
+        for (std::size_t k = 0; k < f.resource_count; ++k) {
+          const std::size_t r = f.resources[k];
+          if (residual[r] <= kEps * std::max(1.0, capacity[r])) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        // A demand-limited flow receives exactly its demand; snapping
+        // removes the accumulated sub-epsilon rounding residue.
+        if (cap_bound) rates[i] = f.rate_cap;
+        active[i] = 0;
+        --remaining;
+        for (std::size_t k = 0; k < f.resource_count; ++k) {
+          active_weight[f.resources[k]] -= f.weight;
+          --active_count[f.resources[k]];
+        }
+      }
+    }
+  }
 }
 
 }  // namespace remos

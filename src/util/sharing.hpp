@@ -7,10 +7,20 @@
 // into "what my flow will actually get": under max-min fairness a new
 // flow can claim a fair share even of a busy link, while on an unknown
 // link only the measured residual is a safe assumption.
+//
+// This header also owns the single implementation of the weighted
+// max-min progressive-filling computation (`fair_share_fill`).  Both the
+// from-scratch solver (`netsim::max_min_allocate`, the differential
+// oracle) and the incremental solver (`netsim::IncrementalMaxMin`) call
+// into it, so there is exactly one place where the fair-share math lives
+// and the oracle test exercises the same code the hot path runs.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
+#include <vector>
 
 namespace remos {
 
@@ -22,5 +32,51 @@ enum class SharingPolicy : std::uint8_t {
 };
 
 std::string to_string(SharingPolicy policy);
+
+/// Rate cap meaning "limited only by the network".
+inline constexpr double kUnlimitedShare =
+    std::numeric_limits<double>::infinity();
+
+/// One flow as the fill core sees it: a span of resource indices, a
+/// fairness weight, and a demand cap.  The span is not owned; it must
+/// stay valid for the duration of the fair_share_fill call.
+struct FairShareFlowView {
+  const std::size_t* resources = nullptr;
+  std::size_t resource_count = 0;
+  double weight = 1.0;
+  double rate_cap = kUnlimitedShare;
+};
+
+/// Reusable working storage for fair_share_fill.  Callers that solve
+/// repeatedly (the incremental solver's churn hot path) keep one scratch
+/// alive so no per-solve heap allocation happens once the buffers have
+/// grown to the high-water mark.  Treat the members as opaque.
+class FairShareScratch {
+ public:
+  /// Pre-sizes the buffers so a following fill of at most `flows` flows
+  /// over at most `resources` resources allocates nothing.
+  void reserve(std::size_t flows, std::size_t resources);
+
+  std::vector<char> active;            // flow still grows with the level
+  std::vector<double> active_weight;   // per resource
+  std::vector<std::size_t> active_count;
+};
+
+/// Computes the weighted max-min fair allocation by progressive filling:
+/// all unfrozen flows grow at speed proportional to their weight until a
+/// resource saturates (its flows freeze at their current rate) or a flow
+/// reaches its cap (it freezes there).  Runs in O(iterations * (F + R))
+/// with at most F + R iterations.
+///
+/// `rates` (size flow_count) and `residual` (size resource_count) are
+/// output spans owned by the caller; residual need not be initialized.
+/// Inputs are assumed validated: capacities >= 0 and not NaN, weights
+/// positive and finite, caps >= 0 and not NaN, resource indices in range.
+/// A flow with an empty resource list is limited only by its cap.
+/// Throws Error if the fill fails to make numeric progress.
+void fair_share_fill(const double* capacity, std::size_t resource_count,
+                     const FairShareFlowView* flows, std::size_t flow_count,
+                     double* rates, double* residual,
+                     FairShareScratch& scratch);
 
 }  // namespace remos

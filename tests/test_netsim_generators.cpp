@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "netsim/generators.hpp"
+#include "netsim/routing.hpp"
+#include "netsim/topology.hpp"
+#include "netsim/topology_io.hpp"
+#include "util/error.hpp"
+
+namespace remos::netsim {
+namespace {
+
+TEST(Generators, FatTreeK4Shape) {
+  FatTreeParams p;
+  p.k = 4;
+  const Topology t = make_fat_tree(p);
+  // 16 hosts + 8 edge + 8 aggregation + 4 core.
+  EXPECT_EQ(t.node_count(), 36u);
+  // 16 host uplinks + 16 edge-aggr + 16 aggr-core.
+  EXPECT_EQ(t.link_count(), 48u);
+  EXPECT_EQ(t.compute_nodes().size(), 16u);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Generators, FatTreeHostCountsScaleAsKCubedOverFour) {
+  for (const std::size_t k : {2u, 4u, 8u}) {
+    FatTreeParams p;
+    p.k = k;
+    EXPECT_EQ(make_fat_tree(p).compute_nodes().size(), k * k * k / 4);
+  }
+}
+
+TEST(Generators, FatTreeIsDeterministic) {
+  FatTreeParams p;
+  p.k = 4;
+  EXPECT_EQ(save_topology_string(make_fat_tree(p)),
+            save_topology_string(make_fat_tree(p)));
+}
+
+TEST(Generators, FatTreeCrossPodRouteHasSixHops) {
+  FatTreeParams p;
+  p.k = 4;
+  const Topology t = make_fat_tree(p);
+  const RoutingTable routing(t);
+  // Host in pod 0 to host in pod 1: host-edge-aggr-core-aggr-edge-host.
+  const Path path = routing.route(t.id_of("h0-0-0"), t.id_of("h1-0-0"));
+  EXPECT_EQ(path.links.size(), 6u);
+  // Same edge switch: two hops.
+  const Path local = routing.route(t.id_of("h0-0-0"), t.id_of("h0-0-1"));
+  EXPECT_EQ(local.links.size(), 2u);
+}
+
+TEST(Generators, FatTreeRejectsOddArity) {
+  FatTreeParams p;
+  p.k = 3;
+  EXPECT_THROW(make_fat_tree(p), InvalidArgument);
+  p.k = 0;
+  EXPECT_THROW(make_fat_tree(p), InvalidArgument);
+}
+
+TEST(Generators, DumbbellShapeAndTrunkPath) {
+  DumbbellParams p;
+  p.hosts_per_side = 8;
+  p.trunk_hops = 3;
+  const Topology t = make_dumbbell(p);
+  // 16 hosts + 2 access switches + 2 intermediate trunk routers.
+  EXPECT_EQ(t.node_count(), 20u);
+  // 16 access links + 3 trunk links.
+  EXPECT_EQ(t.link_count(), 19u);
+  EXPECT_EQ(t.compute_nodes().size(), 16u);
+  EXPECT_TRUE(t.connected());
+
+  const RoutingTable routing(t);
+  const Path cross = routing.route(t.id_of("l0"), t.id_of("r0"));
+  EXPECT_EQ(cross.links.size(), 2u + p.trunk_hops);
+}
+
+TEST(Generators, DumbbellRejectsDegenerateParams) {
+  DumbbellParams p;
+  p.hosts_per_side = 0;
+  EXPECT_THROW(make_dumbbell(p), InvalidArgument);
+  p.hosts_per_side = 1;
+  p.trunk_hops = 0;
+  EXPECT_THROW(make_dumbbell(p), InvalidArgument);
+}
+
+TEST(Generators, WaxmanIsConnectedAndSized) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    WaxmanParams p;
+    p.hosts = 48;
+    p.routers = 12;
+    p.seed = seed;
+    const Topology t = make_waxman(p);
+    EXPECT_TRUE(t.connected()) << "seed " << seed;
+    EXPECT_EQ(t.compute_nodes().size(), 48u);
+    EXPECT_EQ(t.node_count(), 60u);
+    // Connectivity repair guarantees at least a spanning structure over
+    // the routers plus one access link per host.
+    EXPECT_GE(t.link_count(), 48u + 11u);
+  }
+}
+
+TEST(Generators, WaxmanIsDeterministicPerSeed) {
+  WaxmanParams p;
+  p.hosts = 32;
+  p.routers = 8;
+  p.seed = 42;
+  const std::string once = save_topology_string(make_waxman(p));
+  EXPECT_EQ(once, save_topology_string(make_waxman(p)));
+  p.seed = 43;
+  EXPECT_NE(once, save_topology_string(make_waxman(p)));
+}
+
+TEST(Generators, WaxmanRejectsDegenerateParams) {
+  WaxmanParams p;
+  p.routers = 1;
+  EXPECT_THROW(make_waxman(p), InvalidArgument);
+  p.routers = 4;
+  p.hosts = 0;
+  EXPECT_THROW(make_waxman(p), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace remos::netsim

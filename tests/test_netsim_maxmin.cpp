@@ -165,5 +165,108 @@ TEST_P(MaxMinProperty, SolverOutputIsFairAndFeasible) {
 INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinProperty,
                          ::testing::Range<std::uint64_t>(1, 65));
 
+// --------------------------------------------------------------------------
+// IncrementalMaxMin: churn-oriented API over the same fill core.
+
+TEST(IncrementalMaxMin, MatchesBatchSolveOnSmallInstance) {
+  IncrementalMaxMin inc({1.0, 2.0});
+  const FlowHandle f0 = inc.add_flow(flow({0}));
+  const FlowHandle f1 = inc.add_flow(flow({1}));
+  const FlowHandle f2 = inc.add_flow(flow({0, 1}));
+  inc.solve();
+  const auto ref = max_min_allocate({1.0, 2.0},
+                                    {flow({0}), flow({1}), flow({0, 1})});
+  EXPECT_NEAR(inc.rate(f0), ref.rates[0], 1e-12);
+  EXPECT_NEAR(inc.rate(f1), ref.rates[1], 1e-12);
+  EXPECT_NEAR(inc.rate(f2), ref.rates[2], 1e-12);
+  EXPECT_NEAR(inc.residual(0), ref.residual[0], 1e-12);
+  EXPECT_NEAR(inc.residual(1), ref.residual[1], 1e-12);
+}
+
+TEST(IncrementalMaxMin, SolveReportsChangedFlows) {
+  IncrementalMaxMin inc({10.0});
+  const FlowHandle f0 = inc.add_flow(flow({0}));
+  const auto& first = inc.solve();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0], f0);
+  EXPECT_DOUBLE_EQ(inc.rate(f0), 10.0);
+
+  const FlowHandle f1 = inc.add_flow(flow({0}));
+  const auto& second = inc.solve();
+  EXPECT_EQ(second.size(), 2u);  // both halve to 5
+  EXPECT_DOUBLE_EQ(inc.rate(f0), 5.0);
+  EXPECT_DOUBLE_EQ(inc.rate(f1), 5.0);
+}
+
+TEST(IncrementalMaxMin, IdenticalUpdateIsANoOp) {
+  IncrementalMaxMin inc({4.0});
+  const std::size_t res[] = {0};
+  const FlowHandle h = inc.add_flow(res, 1, 2.0, 3.0);
+  inc.solve();
+  EXPECT_FALSE(inc.dirty());
+  inc.update_flow(h, res, 1, 2.0, 3.0);
+  EXPECT_FALSE(inc.dirty());
+  EXPECT_TRUE(inc.solve().empty());
+}
+
+TEST(IncrementalMaxMin, RemoveRecyclesHandlesAndFreesBandwidth) {
+  IncrementalMaxMin inc({6.0});
+  const FlowHandle f0 = inc.add_flow(flow({0}));
+  const FlowHandle f1 = inc.add_flow(flow({0}));
+  inc.solve();
+  EXPECT_DOUBLE_EQ(inc.rate(f0), 3.0);
+  inc.remove_flow(f1);
+  inc.solve();
+  EXPECT_DOUBLE_EQ(inc.rate(f0), 6.0);
+  EXPECT_EQ(inc.flow_count(), 1u);
+  EXPECT_EQ(inc.add_flow(flow({0})), f1);  // handle recycled
+}
+
+TEST(IncrementalMaxMin, SetCapacityOnIdleResourceKeepsResidualExact) {
+  IncrementalMaxMin inc({5.0, 7.0});
+  inc.solve();
+  inc.set_capacity(1, 9.0);
+  EXPECT_DOUBLE_EQ(inc.capacity(1), 9.0);
+  inc.solve();
+  EXPECT_DOUBLE_EQ(inc.residual(1), 9.0);
+  EXPECT_DOUBLE_EQ(inc.residual(0), 5.0);
+}
+
+TEST(IncrementalMaxMin, LoneFlowIsLimitedOnlyByItsCap) {
+  IncrementalMaxMin inc;
+  const FlowHandle capped = inc.add_flow(flow({}, 1.0, 7.0));
+  const FlowHandle open = inc.add_flow(flow({}));
+  inc.solve();
+  EXPECT_DOUBLE_EQ(inc.rate(capped), 7.0);
+  EXPECT_TRUE(std::isinf(inc.rate(open)));
+}
+
+TEST(IncrementalMaxMin, OnlyTheDirtyComponentIsResolved) {
+  // Two disjoint components: {resource 0} and {resource 1}.
+  IncrementalMaxMin inc({8.0, 8.0});
+  const FlowHandle left = inc.add_flow(flow({0}));
+  const FlowHandle right = inc.add_flow(flow({1}));
+  inc.solve();
+  // Churn only the left component.
+  inc.add_flow(flow({0}));
+  inc.solve();
+  ASSERT_EQ(inc.last_solved_resources().size(), 1u);
+  EXPECT_EQ(inc.last_solved_resources()[0], 0u);
+  EXPECT_EQ(inc.last_solved_flows(), 2u);
+  EXPECT_DOUBLE_EQ(inc.rate(left), 4.0);
+  EXPECT_DOUBLE_EQ(inc.rate(right), 8.0);  // untouched
+}
+
+TEST(IncrementalMaxMin, ValidatesInput) {
+  IncrementalMaxMin inc({1.0});
+  EXPECT_THROW(inc.add_flow(flow({0}, 0.0)), InvalidArgument);
+  EXPECT_THROW(inc.add_flow(flow({0}, 1.0, -2.0)), InvalidArgument);
+  EXPECT_THROW(inc.add_flow(flow({3})), InvalidArgument);
+  EXPECT_THROW(inc.set_capacity(0, -1.0), InvalidArgument);
+  EXPECT_THROW(inc.set_capacity(9, 1.0), InvalidArgument);
+  EXPECT_THROW(inc.rate(kInvalidFlowHandle), NotFoundError);
+  EXPECT_THROW(inc.remove_flow(kInvalidFlowHandle), NotFoundError);
+}
+
 }  // namespace
 }  // namespace remos::netsim

@@ -1,0 +1,125 @@
+// Seeded fuzz and round-trip tests for the topology text format, in the
+// style of test_codec_fuzz.cpp: every generated topology must serialize
+// and re-parse bit-identically, and mutated or truncated inputs must
+// produce structured InvalidArgument errors -- never crashes or silent
+// corruption.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "netsim/generators.hpp"
+#include "netsim/topology_io.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace remos::netsim {
+namespace {
+
+std::vector<Topology> corpus() {
+  std::vector<Topology> out;
+  {
+    FatTreeParams p;
+    p.k = 4;
+    out.push_back(make_fat_tree(p));
+  }
+  {
+    DumbbellParams p;
+    p.hosts_per_side = 8;
+    p.trunk_hops = 2;
+    out.push_back(make_dumbbell(p));
+  }
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    WaxmanParams p;
+    p.hosts = 24;
+    p.routers = 8;
+    p.seed = seed;
+    out.push_back(make_waxman(p));
+  }
+  return out;
+}
+
+TEST(TopologyIoFuzz, EveryGeneratedTopologyRoundTripsBitIdentically) {
+  for (const Topology& t : corpus()) {
+    const std::string text = save_topology_string(t);
+    const Topology back = load_topology_string(text);
+    EXPECT_EQ(back.node_count(), t.node_count());
+    EXPECT_EQ(back.link_count(), t.link_count());
+    EXPECT_EQ(save_topology_string(back), text);
+  }
+}
+
+TEST(TopologyIoFuzz, EveryTruncationParsesOrThrowsInvalidArgument) {
+  DumbbellParams p;
+  p.hosts_per_side = 4;
+  p.trunk_hops = 2;
+  const std::string text = save_topology_string(make_dumbbell(p));
+  for (std::size_t len = 0; len <= text.size(); ++len) {
+    const std::string prefix = text.substr(0, len);
+    try {
+      const Topology t = load_topology_string(prefix);
+      // A prefix that parses must itself round-trip.
+      EXPECT_EQ(save_topology_string(load_topology_string(
+                    save_topology_string(t))),
+                save_topology_string(t))
+          << "unstable at prefix length " << len;
+    } catch (const InvalidArgument&) {
+      // Structured parse error: acceptable.
+    }
+  }
+}
+
+TEST(TopologyIoFuzz, SeededMutationsParseStablyOrThrowInvalidArgument) {
+  WaxmanParams wp;
+  wp.hosts = 16;
+  wp.routers = 6;
+  wp.seed = 9;
+  const std::string text = save_topology_string(make_waxman(wp));
+  Rng rng(0xF022);
+  for (int i = 0; i < 4000; ++i) {
+    std::string mutated = text;
+    const std::size_t pos = rng.below(mutated.size());
+    mutated[pos] = rng.chance(0.1)
+                       ? '\n'
+                       : static_cast<char>(' ' + rng.below(95));
+    try {
+      const Topology t = load_topology_string(mutated);
+      // Accepted input must re-serialize to a stable fixed point.
+      const std::string canon = save_topology_string(t);
+      EXPECT_EQ(save_topology_string(load_topology_string(canon)), canon)
+          << "unstable after mutation at byte " << pos;
+    } catch (const InvalidArgument&) {
+      // Structured parse error: acceptable.
+    }
+  }
+}
+
+TEST(TopologyIoFuzz, LineDeletionsParseOrThrowInvalidArgument) {
+  FatTreeParams fp;
+  fp.k = 4;
+  const std::string text = save_topology_string(make_fat_tree(fp));
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  for (std::size_t drop = 0; drop < lines.size(); ++drop) {
+    std::string pruned;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (i == drop) continue;
+      pruned += lines[i];
+      pruned += '\n';
+    }
+    try {
+      const Topology t = load_topology_string(pruned);
+      EXPECT_EQ(save_topology_string(t), pruned);
+    } catch (const InvalidArgument&) {
+      // Dropping a node line orphans its links: structured error.
+    }
+  }
+}
+
+}  // namespace
+}  // namespace remos::netsim
