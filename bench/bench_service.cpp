@@ -18,12 +18,20 @@
 //
 // Results are printed as a table and also written to BENCH_service.json
 // in the working directory for CI trend tracking.
+//
+// With --check, the run is additionally gated against the committed
+// BENCH_service.json baseline (read before it is overwritten): overload
+// shed rate must stay within +/-25% relative (0.02 absolute epsilon) and
+// capacity p99 must stay under baseline*1.25 + 200us.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -122,11 +130,47 @@ PhaseResult run_phase(apps::CmuHarness& harness,
   return r;
 }
 
+/// Pulls `"key": <number>` out of the named JSON section ("capacity",
+/// "overload_2x", ...) of a prior BENCH_service.json.  Hand-rolled on
+/// purpose: the bench writes this file itself, so the shape is known and
+/// a JSON library is not worth a dependency.  Returns fallback when the
+/// section or key is absent.
+double baseline_number(const std::string& text, const std::string& section,
+                       const std::string& key, double fallback) {
+  const std::size_t sec = text.find("\"" + section + "\"");
+  if (sec == std::string::npos) return fallback;
+  const std::size_t end = text.find('}', sec);
+  const std::size_t pos = text.find("\"" + key + "\":", sec);
+  if (pos == std::string::npos || (end != std::string::npos && pos > end))
+    return fallback;
+  try {
+    return std::stod(text.substr(pos + key.size() + 3));
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using bench::row;
   using bench::rule;
+
+  bool check = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--check") check = true;
+
+  // The committed baseline must be read before the run overwrites it.
+  std::string baseline;
+  if (check) {
+    std::ifstream in("BENCH_service.json");
+    baseline.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+    if (baseline.empty())
+      std::cerr << "BENCH_service: --check but no committed "
+                   "BENCH_service.json baseline; skipping regression "
+                   "gates\n";
+  }
 
   std::cout << "Concurrent query service: capacity vs 2x overload\n\n";
 
@@ -253,9 +297,44 @@ int main() {
   // must shed rather than queue without bound, nothing may error, and
   // the wired observability path must stay within the lenient overhead
   // ceiling (target <= 5%; 15% absorbs shared-runner noise).
-  const bool ok = cap.errors == 0 && over.errors == 0 && over.shed > 0 &&
-                  cap.shed == 0 && bare.errors == 0 && wired.errors == 0 &&
-                  obs_overhead <= 0.15;
+  bool ok = cap.errors == 0 && over.errors == 0 && over.shed > 0 &&
+            cap.shed == 0 && bare.errors == 0 && wired.errors == 0 &&
+            obs_overhead <= 0.15;
   if (!ok) std::cerr << "BENCH_service: SLO invariants violated\n";
+
+  // --check: regression gates against the committed baseline.  Shed rate
+  // is a designed behaviour, so it must stay within +/-25% relative of
+  // the baseline (0.02 absolute epsilon absorbs small-count noise); p99
+  // is gated upper-only at baseline*1.25 + 200us, since a faster run is
+  // never a regression.
+  if (check && !baseline.empty()) {
+    const double base_shed =
+        baseline_number(baseline, "overload_2x", "shed_rate", -1.0);
+    const double base_p99 =
+        baseline_number(baseline, "capacity", "p99_us", -1.0);
+    bool gates = true;
+    if (base_shed >= 0.0) {
+      const double tolerance = std::max(0.25 * base_shed, 0.02);
+      if (std::abs(over.shed_rate() - base_shed) > tolerance) {
+        std::cerr << "BENCH_service: shed rate " << fixed(over.shed_rate(), 4)
+                  << " outside baseline " << fixed(base_shed, 4) << " +/- "
+                  << fixed(tolerance, 4) << "\n";
+        gates = false;
+      }
+    }
+    if (base_p99 >= 0.0) {
+      const double ceiling = base_p99 * 1.25 + 200.0;
+      if (static_cast<double>(cap.p99_us) > ceiling) {
+        std::cerr << "BENCH_service: capacity p99 " << cap.p99_us
+                  << "us above baseline ceiling " << fixed(ceiling, 0)
+                  << "us\n";
+        gates = false;
+      }
+    }
+    if (gates)
+      std::cout << "--check: within baseline (shed " << fixed(base_shed, 4)
+                << ", p99 " << fixed(base_p99, 0) << "us)\n";
+    ok = ok && gates;
+  }
   return ok ? 0 : 1;
 }

@@ -112,6 +112,31 @@ std::vector<std::string> NetworkModel::neighbors(
   return out;
 }
 
+bool NetworkModel::remove_link(const std::string& a, const std::string& b) {
+  bool flipped = false;
+  const ModelLink* found = find_link(a, b, &flipped);
+  if (!found) return false;
+  const std::pair<std::string, std::string> key =
+      flipped ? std::make_pair(b, a) : std::make_pair(a, b);
+  const std::size_t at = link_index_.at(key);
+  links_.erase(links_.begin() + static_cast<std::ptrdiff_t>(at));
+  link_index_.erase(key);
+  // Indices past the erased slot shifted down by one.
+  for (auto& [names, index] : link_index_)
+    if (index > at) --index;
+  return true;
+}
+
+bool NetworkModel::remove_node(const std::string& name) {
+  const auto it = nodes_.find(name);
+  if (it == nodes_.end()) return false;
+  for (std::size_t i = links_.size(); i-- > 0;)
+    if (links_[i].a == name || links_[i].b == name)
+      remove_link(links_[i].a, links_[i].b);
+  nodes_.erase(it);
+  return true;
+}
+
 std::int32_t RoutingIndex::id_of(const std::string& name) const {
   const auto it = ids_.find(name);
   return it == ids_.end() ? kNoNode : it->second;

@@ -217,6 +217,17 @@ class NetworkModel {
   /// history and adopt the other's samples.
   void merge_from(const NetworkModel& other);
 
+  /// Removes the link between a and b (either orientation) with its
+  /// history.  Returns false if no such link exists.  O(links): the
+  /// link vector and its index are rebuilt without the entry.
+  bool remove_link(const std::string& a, const std::string& b);
+
+  /// Removes a node and every link incident to it.  Returns false if
+  /// the node is unknown.  (Replication deltas decommission nodes this
+  /// way; collectors keep vanished routers in the model instead, since
+  /// they may return.)
+  bool remove_node(const std::string& name);
+
   /// The routing index for the model's current structure, built lazily
   /// and cached.  Because links() hands out mutable references (callers
   /// flip `up` in place), invalidation is by structural fingerprint --

@@ -1,0 +1,133 @@
+// Versioned wire format for NetworkModel snapshots (replication plane).
+//
+// The paper's Figure-2 architecture runs one Collector per cloud; a
+// production deployment replicates the resulting model to N service
+// replicas.  That turns the model into *data on a wire*: it must be
+// framed, versioned, checksummed, and diffable, and every malformed
+// byte sequence must decode to a structured ProtocolError -- never UB --
+// because the replication channel is subject to the same fault model as
+// the management plane (corruption, truncation, reordering).
+//
+// Frame layout (all integers little-endian, doubles as IEEE-754 bits):
+//
+//   offset  size  field
+//   0       4     magic "RSNP"
+//   4       2     wire-format version (kSnapshotWireVersion)
+//   6       1     kind: 0 = full snapshot, 1 = delta
+//   7       1     reserved (0)
+//   8       8     snapshot version (monotonic, assigned by the primary)
+//   16      8     base version (delta only; 0 in full frames)
+//   24      8     taken_at (model clock, f64 bits)
+//   32      4     payload length
+//   36      n     payload (kind-specific, below)
+//   36+n    8     FNV-1a64 checksum of bytes [0, 36+n)
+//
+// Full payload: the *canonical* model body -- nodes in name order, links
+// in (a, b) order, each link carrying its newest kWireSampleCap history
+// samples.  Delta payload: removed-node and removed-link name lists plus
+// full records for every node/link whose canonical record differs from
+// the base version's.  Applying a delta to a bit-identical base yields a
+// model whose canonical body is bit-identical to the primary's -- which
+// is what model_fingerprint() verifies after a resync.
+//
+// The canonical body deliberately bounds per-link history to the sample
+// tail: replicas answer measurement queries from the last
+// kWireSampleCap polls (plenty for current/prediction timeframes), and
+// the bound keeps full frames O(model) and delta frames O(changed
+// links), not O(retention).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "collector/network_model.hpp"
+#include "util/units.hpp"
+
+namespace remos::collector {
+
+inline constexpr std::uint16_t kSnapshotWireVersion = 1;
+/// Newest history samples carried per link in the canonical body.
+inline constexpr std::size_t kWireSampleCap = 16;
+
+enum class FrameKind : std::uint8_t { kFull = 0, kDelta = 1 };
+
+struct WireSample {
+  Seconds at = 0;
+  BitsPerSec used_ab = 0;
+  BitsPerSec used_ba = 0;
+};
+
+struct WireNode {
+  std::string name;
+  bool is_router = false;
+  bool has_host_info = false;
+  BitsPerSec internal_bw = 0;
+  double cpu_load = 0.0;
+  std::uint32_t memory_mb = 0;
+};
+
+struct WireLink {
+  std::string a;
+  std::string b;
+  BitsPerSec capacity = 0;
+  Seconds latency = 0;
+  bool up = true;
+  SharingPolicy sharing = SharingPolicy::kUnknown;
+  Seconds last_update = -1;
+  std::vector<WireSample> samples;  // oldest first, <= kWireSampleCap
+};
+
+/// One decoded frame.  For kFull, `nodes`/`links` are the whole model
+/// and the removal lists are empty; for kDelta they are upserts against
+/// `base_version`.
+struct SnapshotFrame {
+  FrameKind kind = FrameKind::kFull;
+  std::uint64_t version = 0;
+  std::uint64_t base_version = 0;
+  Seconds taken_at = 0;
+  std::vector<WireNode> nodes;
+  std::vector<WireLink> links;
+  std::vector<std::string> removed_nodes;
+  std::vector<std::pair<std::string, std::string>> removed_links;
+};
+
+/// Encodes the whole model as a full frame.
+std::vector<std::uint8_t> encode_full(const NetworkModel& model,
+                                      std::uint64_t version,
+                                      Seconds taken_at);
+
+/// Encodes the difference next - base as a delta frame against
+/// `base_version`.  A replica whose applied version is not
+/// `base_version` must not apply it (gap: request a full resync).
+std::vector<std::uint8_t> encode_delta(const NetworkModel& base,
+                                       std::uint64_t base_version,
+                                       const NetworkModel& next,
+                                       std::uint64_t version,
+                                       Seconds taken_at);
+
+/// Decodes and validates one frame.  Throws ProtocolError on any
+/// malformed input: bad magic, unknown wire version, truncation at any
+/// byte, checksum mismatch, out-of-range enums, or trailing garbage.
+SnapshotFrame decode_frame(const std::vector<std::uint8_t>& wire);
+
+/// Builds a model from a full frame.  Throws ProtocolError if the frame
+/// is not kFull or a link references an undeclared node.
+NetworkModel materialize(const SnapshotFrame& full);
+
+/// Applies a delta frame in place: removals first, then node/link
+/// upserts (a changed link's history is rebuilt from the frame's sample
+/// tail).  Removals of unknown names are ignored, so re-applying a delta
+/// is idempotent.  Throws ProtocolError if the frame is not kDelta or an
+/// upserted link references a node known to neither the model nor the
+/// frame.
+void apply_delta(NetworkModel& model, const SnapshotFrame& delta);
+
+/// FNV-1a64 fingerprint of the model's canonical body (the exact bytes a
+/// full frame would carry as payload, minus framing).  Two models with
+/// equal fingerprints answer queries identically over the wire-visible
+/// state; a resynced replica must converge to the primary's fingerprint.
+std::uint64_t model_fingerprint(const NetworkModel& model);
+
+}  // namespace remos::collector
