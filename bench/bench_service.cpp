@@ -103,6 +103,7 @@ PhaseResult run_phase(apps::CmuHarness& harness,
         switch (meta.status) {
           case QueryStatus::kAnswered:
           case QueryStatus::kStale:
+          case QueryStatus::kDegraded:
             ++admitted;
             local.push_back(static_cast<std::uint64_t>(us));
             break;

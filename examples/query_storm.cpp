@@ -35,6 +35,7 @@ struct Tally {
     switch (s) {
       case QueryStatus::kAnswered: ++answered; break;
       case QueryStatus::kStale: ++stale; break;
+      case QueryStatus::kDegraded: ++stale; break;  // brownout: count as stale
       case QueryStatus::kOverloaded: ++overloaded; break;
       case QueryStatus::kExpired: ++expired; break;
       case QueryStatus::kError: ++errors; break;

@@ -102,6 +102,11 @@ class NetworkGraph {
   /// crediting an application's own traffic back before costing).
   std::vector<GraphLink>& mutable_links() { return links_; }
 
+  /// Mutable node access for annotation post-processing (e.g. the service
+  /// cache discounting dynamic accuracies on brownout answers).  Renaming
+  /// a node through this reference is undefined (the key stays put).
+  std::map<std::string, GraphNode>& mutable_nodes() { return nodes_; }
+
   /// Fewest-hop route (ties: lower total median latency, then smaller
   /// node names); compute nodes do not forward.  nullopt if disconnected.
   std::optional<GraphPath> route(const std::string& src,

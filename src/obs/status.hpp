@@ -17,13 +17,14 @@ namespace remos::obs {
 enum class QueryStatus {
   kAnswered,    // served from a snapshot within the staleness budget
   kStale,       // served, but the freshest snapshot exceeded the budget
+  kDegraded,    // brownout: last good cached answer, accuracy discounted
   kOverloaded,  // shed at admission: the bounded queue was full
   kExpired,     // the deadline passed before a worker could answer
   kError,       // malformed query (structured; the service stays up)
 };
 
 /// Number of QueryStatus values (per-status metric arrays).
-inline constexpr int kQueryStatusCount = 5;
+inline constexpr int kQueryStatusCount = 6;
 
 /// Per-router agent health as seen by a collector.
 enum class AgentHealth { kHealthy, kDegraded, kUnreachable };
@@ -43,6 +44,7 @@ inline const char* to_string(QueryStatus status) {
   switch (status) {
     case QueryStatus::kAnswered: return "answered";
     case QueryStatus::kStale: return "stale";
+    case QueryStatus::kDegraded: return "degraded";
     case QueryStatus::kOverloaded: return "overloaded";
     case QueryStatus::kExpired: return "expired";
     case QueryStatus::kError: return "error";

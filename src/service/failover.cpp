@@ -20,6 +20,15 @@ FailoverCoordinator::FailoverCoordinator(std::vector<ReplicaStore*> replicas,
     exhausted_counter_ = obs.metrics->counter(
         "remos_failover_exhausted_total", {},
         "Queries that burned every attempt without an ok answer.");
+    unrouted_counter_ = obs.metrics->counter(
+        "remos_failover_unrouted_total", {},
+        "Queries with no routable replica (synthesized kError).");
+    degraded_fallback_counter_ = obs.metrics->counter(
+        "remos_failover_degraded_fallback_total", {},
+        "Queries answered by an unhealthy-but-serving fallback replica.");
+    fast_expired_counter_ = obs.metrics->counter(
+        "remos_failover_fast_expired_total", {},
+        "Queries failed fast: deadline below one minimum attempt slice.");
     healthy_gauge_ =
         obs.metrics->gauge("remos_failover_healthy_replicas", {},
                            "Replicas currently in the routing rotation.");
@@ -76,6 +85,7 @@ Response FailoverCoordinator::route(Query& query, Fn&& call) {
   Response last{};
   if (n == 0) {
     unrouted_.fetch_add(1, std::memory_order_relaxed);
+    unrouted_counter_.inc();
     last.meta.status = QueryStatus::kError;
     last.meta.error = "failover: no replica available";
     return last;
@@ -83,9 +93,23 @@ Response FailoverCoordinator::route(Query& query, Fn&& call) {
 
   // Slice the caller's total budget across attempts so a reroute after a
   // slow or dead replica still lands inside the original deadline.
-  const int attempts_allowed = std::max(1, options_.max_attempts);
+  int attempts_allowed = std::max(1, options_.max_attempts);
   const std::chrono::microseconds total = query.deadline.value_or(
       replicas_[0]->service().options().default_deadline);
+  if (options_.min_attempt_slice.count() > 0) {
+    // Clamp: fewer, viable attempts beat many doomed ones.  A budget that
+    // cannot cover even one slice fails fast without touching a replica.
+    if (total < options_.min_attempt_slice) {
+      fast_expired_.fetch_add(1, std::memory_order_relaxed);
+      fast_expired_counter_.inc();
+      last.meta.status = QueryStatus::kExpired;
+      last.meta.error = "failover: deadline below minimum attempt slice";
+      return last;
+    }
+    while (attempts_allowed > 1 &&
+           total / attempts_allowed < options_.min_attempt_slice)
+      --attempts_allowed;
+  }
   query.deadline = total / attempts_allowed;
 
   const std::size_t start = cursor_.fetch_add(1, std::memory_order_relaxed);
@@ -113,6 +137,10 @@ Response FailoverCoordinator::route(Query& query, Fn&& call) {
           rerouted_.fetch_add(1, std::memory_order_relaxed);
           reroutes_counter_.inc();
         }
+        if (pass == 1) {
+          degraded_fallback_.fetch_add(1, std::memory_order_relaxed);
+          degraded_fallback_counter_.inc();
+        }
         return resp;
       }
       last = std::move(resp);
@@ -121,6 +149,7 @@ Response FailoverCoordinator::route(Query& query, Fn&& call) {
 
   if (attempts == 0) {
     unrouted_.fetch_add(1, std::memory_order_relaxed);
+    unrouted_counter_.inc();
     last.meta.status = QueryStatus::kError;
     last.meta.error = "failover: no replica available";
   } else {
@@ -149,6 +178,8 @@ FailoverCoordinator::Stats FailoverCoordinator::stats() const {
   s.rerouted = rerouted_.load(std::memory_order_relaxed);
   s.exhausted = exhausted_.load(std::memory_order_relaxed);
   s.unrouted = unrouted_.load(std::memory_order_relaxed);
+  s.degraded_fallback = degraded_fallback_.load(std::memory_order_relaxed);
+  s.fast_expired = fast_expired_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -46,6 +46,12 @@ class FailoverCoordinator {
     /// Distinct replicas tried per query; the caller's deadline is
     /// divided evenly across attempts so retries stay inside it.
     int max_attempts = 3;
+    /// Floor on the per-attempt deadline slice.  Rather than issuing
+    /// doomed near-zero-budget attempts, the coordinator first reduces
+    /// the attempt count until every slice clears this floor; a total
+    /// deadline below even one slice fails fast with a synthesized
+    /// kExpired (no attempt is issued at all).  0 disables the clamp.
+    std::chrono::microseconds min_attempt_slice{1'000};
   };
 
   FailoverCoordinator(std::vector<ReplicaStore*> replicas, Options options,
@@ -74,6 +80,12 @@ class FailoverCoordinator {
     std::uint64_t exhausted = 0;
     /// Queries with no routable replica at all (synthesized kError).
     std::uint64_t unrouted = 0;
+    /// Queries answered on pass 1 (an unhealthy-but-serving replica: a
+    /// stale fallback beats no answer).
+    std::uint64_t degraded_fallback = 0;
+    /// Queries failed fast with a synthesized kExpired because the total
+    /// deadline could not cover even one min_attempt_slice.
+    std::uint64_t fast_expired = 0;
   };
   Stats stats() const;
 
@@ -92,10 +104,15 @@ class FailoverCoordinator {
   std::atomic<std::uint64_t> rerouted_{0};
   std::atomic<std::uint64_t> exhausted_{0};
   std::atomic<std::uint64_t> unrouted_{0};
+  std::atomic<std::uint64_t> degraded_fallback_{0};
+  std::atomic<std::uint64_t> fast_expired_{0};
 
   obs::FlightRecorder* recorder_ = nullptr;
   obs::Counter reroutes_counter_;
   obs::Counter exhausted_counter_;
+  obs::Counter unrouted_counter_;
+  obs::Counter degraded_fallback_counter_;
+  obs::Counter fast_expired_counter_;
   obs::Gauge healthy_gauge_;
   bool degraded_ = false;  // publisher thread only (edge detector)
 };

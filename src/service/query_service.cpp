@@ -1,8 +1,10 @@
 #include "service/query_service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "service/result_cache.hpp"
 #include "util/error.hpp"
 
 namespace remos::service {
@@ -26,7 +28,8 @@ double to_seconds(Clock::duration d) {
 
 QueryService::QueryService(Options options)
     : options_(options),
-      admission_({options.queue_capacity}) {
+      admission_({options.queue_capacity, options.reserved_fraction,
+                  options.max_tenants}) {
   if (options_.workers == 0)
     throw InvalidArgument("QueryService: zero workers");
   if (options_.default_deadline.count() <= 0)
@@ -35,9 +38,22 @@ QueryService::QueryService(Options options)
     throw InvalidArgument("QueryService: negative staleness SLO");
   if (options_.poll_interval.count() <= 0)
     throw InvalidArgument("QueryService: non-positive poll interval");
+  if (options_.brownout_halflife < 0)
+    throw InvalidArgument("QueryService: negative brownout half-life");
+  if (options_.adaptive)
+    aimd_ = std::make_unique<AimdController>(options_.aimd,
+                                             options_.default_deadline);
+  graph_cache_ = std::make_unique<ResultCache<GraphResponse>>(
+      ResultCache<GraphResponse>::Options{options_.cache_capacity});
+  flow_cache_ = std::make_unique<ResultCache<FlowInfoResponse>>(
+      ResultCache<FlowInfoResponse>::Options{options_.cache_capacity});
 }
 
 QueryService::~QueryService() { stop(); }
+
+int QueryService::register_tenant(const std::string& name, double weight) {
+  return admission_.register_tenant(name, weight);
+}
 
 void QueryService::set_obs(const obs::Obs& o) {
   if (o.metrics) {
@@ -65,6 +81,28 @@ void QueryService::set_obs(const obs::Obs& o) {
     deadline_slack_ = o.metrics->histogram(
         "remos_service_deadline_slack_seconds", obs::default_time_buckets(),
         {}, "Wall-clock budget remaining when the answer landed");
+    cache_hit_counter_ = o.metrics->counter(
+        "remos_service_cache_hits_total", {},
+        "Fresh result-cache hits (current snapshot version)");
+    brownout_counter_ = o.metrics->counter(
+        "remos_service_brownouts_total", {},
+        "Queries answered from the cache with kDegraded instead of shed");
+    budget_gauge_ = o.metrics->gauge(
+        "remos_service_admission_budget", {},
+        "Current global admission budget (AIMD-resized when adaptive)");
+    budget_gauge_.set(static_cast<double>(admission_.capacity()));
+    const std::size_t tenants = admission_.tenant_count();
+    tenant_admitted_counters_.clear();
+    tenant_shed_counters_.clear();
+    for (std::size_t t = 0; t < tenants; ++t) {
+      const auto ts = admission_.tenant_stats(static_cast<int>(t));
+      tenant_admitted_counters_.push_back(o.metrics->counter(
+          "remos_service_tenant_admitted_total", {{"tenant", ts.name}},
+          "Queries admitted, by tenant"));
+      tenant_shed_counters_.push_back(o.metrics->counter(
+          "remos_service_tenant_shed_total", {{"tenant", ts.name}},
+          "Queries shed at admission, by tenant"));
+    }
     modeler_obs_ = core::ModelerObs::resolve(o);
   }
   if (o.series) {
@@ -146,6 +184,9 @@ void QueryService::count_outcome(QueryStatus status) {
     case QueryStatus::kStale:
       stale_.fetch_add(1, std::memory_order_relaxed);
       break;
+    case QueryStatus::kDegraded:
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      break;
     case QueryStatus::kOverloaded:
       shed_.fetch_add(1, std::memory_order_relaxed);
       break;
@@ -156,6 +197,13 @@ void QueryService::count_outcome(QueryStatus status) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
+}
+
+void QueryService::count_tenant(int tenant, bool admitted) {
+  auto& counters =
+      admitted ? tenant_admitted_counters_ : tenant_shed_counters_;
+  const std::size_t i = static_cast<std::size_t>(tenant);
+  if (tenant >= 0 && i < counters.size()) counters[i].inc();
 }
 
 void QueryService::note_shed(bool shed) {
@@ -177,7 +225,7 @@ void QueryService::run_job(const std::shared_ptr<Pending<Response>>& state,
   queue_depth_gauge_.add(-1.0);
   if (state->abandoned.load(std::memory_order_acquire)) {
     // The caller already returned kExpired; skip the work entirely.
-    admission_.release();
+    admission_.release(state->tenant);
     return;
   }
   Response r;
@@ -195,37 +243,51 @@ void QueryService::run_job(const std::shared_ptr<Pending<Response>>& state,
     ts->append(model_now(), static_cast<double>(us) * 1e-3);
   deadline_slack_.observe(
       std::max(0.0, to_seconds(state->deadline - done)));
-  admission_.release();
+  admission_.release(state->tenant);
+  if (aimd_ && aimd_->on_complete(std::chrono::microseconds(us), admission_))
+    budget_gauge_.set(static_cast<double>(admission_.capacity()));
   state->promise.set_value(std::move(r));
 }
 
-template <typename Response, typename Fn>
+template <typename Response, typename Fn, typename Brownout>
 Response QueryService::submit(std::chrono::microseconds deadline_budget,
-                              Fn execute) {
+                              int tenant, Fn execute, Brownout brownout) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   submitted_counter_.inc();
   const auto enqueued = Clock::now();
   const auto deadline = enqueued + deadline_budget;
 
   Response r;
-  if (!admission_.try_acquire()) {
-    r.meta.status = QueryStatus::kOverloaded;
+  if (!admission_.try_acquire(tenant)) {
+    count_tenant(tenant, false);
     if (shed_series_) shed_series_->append(model_now(), 1.0);
     note_shed(true);
+    // Brownout rung: a cached answer with discounted accuracy beats a
+    // shed -- but it is always labelled kDegraded, never fresh.
+    if (std::optional<Response> cached = brownout()) {
+      r = std::move(*cached);
+      brownout_counter_.inc();
+    } else {
+      r.meta.status = QueryStatus::kOverloaded;
+    }
+    r.meta.latency =
+        std::chrono::microseconds(elapsed_us(enqueued, Clock::now()));
     count_outcome(r.meta.status);
     return r;
   }
+  count_tenant(tenant, true);
   if (shed_series_) shed_series_->append(model_now(), 0.0);
   note_shed(false);
 
   auto state = std::make_shared<Pending<Response>>();
   state->enqueued = enqueued;
   state->deadline = deadline;
+  state->tenant = tenant;
   std::future<Response> fut = state->promise.get_future();
   {
     std::lock_guard<std::mutex> lk(mutex_);
     if (stopping_) {
-      admission_.release();
+      admission_.release(tenant);
       r.meta.status = QueryStatus::kError;
       r.meta.error = "service stopped";
       count_outcome(r.meta.status);
@@ -305,40 +367,134 @@ Response QueryService::answer(Seconds staleness_budget, bool trace,
   return r;
 }
 
+template <typename Response>
+std::optional<Response> QueryService::cache_fresh_hit(
+    ResultCache<Response>* cache, const std::string& key,
+    Seconds staleness_budget, int tenant) {
+  (void)tenant;
+  auto hit = cache->find(key);
+  if (!hit || hit->version != store_.version()) return std::nullopt;
+  Response r = std::move(hit->response);
+  const Seconds age = std::max(0.0, model_now() - hit->taken_at);
+  r.meta.status =
+      age > staleness_budget ? QueryStatus::kStale : QueryStatus::kAnswered;
+  r.meta.snapshot_version = hit->version;
+  r.meta.snapshot_age = age;
+  r.meta.from_cache = true;
+  r.meta.error.clear();
+  return r;
+}
+
+template <typename Response>
+std::optional<Response> QueryService::cache_brownout(
+    ResultCache<Response>* cache, const std::string& key) {
+  if (!cache->enabled() || key.empty()) return std::nullopt;
+  auto hit = cache->find(key);
+  if (!hit) return std::nullopt;
+  Response r = std::move(hit->response);
+  const Seconds age = std::max(0.0, model_now() - hit->taken_at);
+  const double factor = options_.brownout_halflife > 0
+                            ? std::exp2(-age / options_.brownout_halflife)
+                            : 1.0;
+  discount_accuracy(r, factor);
+  r.meta.status = QueryStatus::kDegraded;
+  r.meta.snapshot_version = hit->version;
+  r.meta.snapshot_age = age;
+  r.meta.from_cache = true;
+  r.meta.error.clear();
+  return r;
+}
+
+template <typename Response>
+void QueryService::cache_store(ResultCache<Response>* cache,
+                               const std::string& key,
+                               const Response& response) {
+  // Only executed payload-bearing answers are cacheable; kDegraded came
+  // *from* the cache, and errors/sheds carry no payload.
+  if (!cache->enabled() || key.empty()) return;
+  if (response.meta.status != QueryStatus::kAnswered &&
+      response.meta.status != QueryStatus::kStale)
+    return;
+  SnapshotStore::Pin pin = store_.acquire(response.meta.snapshot_version);
+  if (!pin) return;  // version already beyond the store's retention
+  // Read through the pin before handing it to insert(): the by-value Pin
+  // argument is move-constructed at an unspecified point relative to its
+  // sibling arguments.
+  const Seconds taken_at = pin->taken_at;
+  cache->insert(key, response, response.meta.snapshot_version, taken_at,
+                std::move(pin));
+}
+
 GraphResponse QueryService::get_graph(GraphQuery query) {
   const auto budget = query.deadline.value_or(options_.default_deadline);
   const Seconds slo = query.max_staleness.value_or(options_.staleness_slo);
+  // Traced queries bypass the cache: the caller asked to watch this very
+  // query execute, and a cached answer has no span tree to give.
+  const std::string key = graph_cache_->enabled() && !query.trace
+                              ? canonical_key(query)
+                              : std::string{};
+  if (!key.empty()) {
+    if (auto hit = cache_fresh_hit(graph_cache_.get(), key, slo,
+                                   query.tenant)) {
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      submitted_counter_.inc();
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_hit_counter_.inc();
+      count_outcome(hit->meta.status);
+      return std::move(*hit);
+    }
+  }
   return submit<GraphResponse>(
-      budget,
-      [this, q = std::move(query), slo](Clock::time_point enqueued) {
-        return answer<GraphResponse>(
+      budget, query.tenant,
+      [this, q = std::move(query), slo, key](Clock::time_point enqueued) {
+        GraphResponse r = answer<GraphResponse>(
             slo, q.trace, enqueued,
-            [&q](const core::Modeler& m, GraphResponse& r) {
+            [&q](const core::Modeler& m, GraphResponse& out) {
               core::GraphResult gr =
                   m.get_graph_result(q.nodes, q.timeframe, q.options);
-              r.graph = std::move(gr.graph);
-              r.graph_status = gr.status;
-              r.unknown_nodes = std::move(gr.unknown_nodes);
+              out.graph = std::move(gr.graph);
+              out.graph_status = gr.status;
+              out.unknown_nodes = std::move(gr.unknown_nodes);
               // A structurally invalid query is still a service-level
               // error; partial/unresolved topologies are answers.
               if (gr.status == obs::GraphStatus::kInvalid)
                 throw InvalidArgument(gr.error);
             });
-      });
+        cache_store(graph_cache_.get(), key, r);
+        return r;
+      },
+      [this, key] { return cache_brownout(graph_cache_.get(), key); });
 }
 
 FlowInfoResponse QueryService::flow_info(FlowInfoQuery query) {
   const auto budget = query.deadline.value_or(options_.default_deadline);
   const Seconds slo = query.max_staleness.value_or(options_.staleness_slo);
+  const std::string key = flow_cache_->enabled() && !query.trace
+                              ? canonical_key(query)
+                              : std::string{};
+  if (!key.empty()) {
+    if (auto hit = cache_fresh_hit(flow_cache_.get(), key, slo,
+                                   query.tenant)) {
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      submitted_counter_.inc();
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_hit_counter_.inc();
+      count_outcome(hit->meta.status);
+      return std::move(*hit);
+    }
+  }
   return submit<FlowInfoResponse>(
-      budget,
-      [this, q = std::move(query), slo](Clock::time_point enqueued) {
-        return answer<FlowInfoResponse>(
+      budget, query.tenant,
+      [this, q = std::move(query), slo, key](Clock::time_point enqueued) {
+        FlowInfoResponse r = answer<FlowInfoResponse>(
             slo, q.trace, enqueued,
-            [&q](const core::Modeler& m, FlowInfoResponse& r) {
-              r.result = m.flow_info(q.query);
+            [&q](const core::Modeler& m, FlowInfoResponse& out) {
+              out.result = m.flow_info(q.query);
             });
-      });
+        cache_store(flow_cache_.get(), key, r);
+        return r;
+      },
+      [this, key] { return cache_brownout(flow_cache_.get(), key); });
 }
 
 ServiceStats QueryService::stats() const {
@@ -346,11 +502,14 @@ ServiceStats QueryService::stats() const {
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.answered = answered_.load(std::memory_order_relaxed);
   s.stale = stale_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
   s.shed = shed_.load(std::memory_order_relaxed);
   s.expired = expired_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
   s.polls = polls_.load(std::memory_order_relaxed);
   s.snapshot_version = store_.version();
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.admission_budget = admission_.capacity();
   s.in_flight_high_water = admission_.high_water();
   s.p50_us = static_cast<std::uint64_t>(latency_.quantile(0.50) * 1e6);
   s.p99_us = static_cast<std::uint64_t>(latency_.quantile(0.99) * 1e6);

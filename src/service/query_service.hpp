@@ -50,15 +50,20 @@
 #include "core/logical.hpp"
 #include "core/modeler.hpp"
 #include "obs/obs.hpp"
-#include "service/admission.hpp"
 #include "service/snapshot_store.hpp"
+#include "service/tenant_admission.hpp"
 
 namespace remos::service {
+
+template <typename Response>
+class ResultCache;  // service/result_cache.hpp
 
 /// Outcome of one query, as seen by the caller (shared vocabulary; see
 /// obs/status.hpp):
 ///   kAnswered    served from a snapshot within the staleness budget
 ///   kStale       served, but the freshest snapshot exceeded the budget
+///   kDegraded    brownout: the tenant's slice was full, so the last good
+///                cached answer is served with accuracy discounted
 ///   kOverloaded  shed at admission: the bounded queue was full
 ///   kExpired     the deadline passed before a worker could answer
 ///   kError       malformed query (structured; the service stays up)
@@ -79,6 +84,9 @@ struct GraphQuery {
   /// Collect a per-query span tree into ResponseMeta::trace (admission,
   /// snapshot pickup, route resolution, solve, ...).
   bool trace = false;
+  /// Tenant id from QueryService::register_tenant; unregistered ids fall
+  /// back to the default tenant.
+  int tenant = TenantAdmission::kDefaultTenant;
 };
 
 struct FlowInfoQuery {
@@ -87,6 +95,8 @@ struct FlowInfoQuery {
   std::optional<Seconds> max_staleness;
   /// Collect a per-query span tree into ResponseMeta::trace.
   bool trace = false;
+  /// Tenant id from QueryService::register_tenant.
+  int tenant = TenantAdmission::kDefaultTenant;
 };
 
 struct ResponseMeta {
@@ -101,10 +111,16 @@ struct ResponseMeta {
   /// Span tree for this query; non-empty only when the query asked for
   /// tracing and reached a worker.
   obs::SpanTree trace;
+  /// True when the payload came from the result cache (a fresh O(1) hit,
+  /// or -- when status is kDegraded -- a brownout answer).
+  bool from_cache = false;
 
-  /// True when a payload was produced (kAnswered or kStale).
+  /// True when a payload was produced (kAnswered, kStale, or a brownout
+  /// kDegraded -- the latter with accuracy explicitly discounted).
   bool ok() const {
-    return status == QueryStatus::kAnswered || status == QueryStatus::kStale;
+    return status == QueryStatus::kAnswered ||
+           status == QueryStatus::kStale ||
+           status == QueryStatus::kDegraded;
   }
 };
 
@@ -123,17 +139,27 @@ struct FlowInfoResponse {
   core::FlowQueryResult result;  // valid when meta.ok()
 };
 
-/// Monitoring snapshot.  submitted == answered + stale + shed + expired +
-/// errors once the service is idle (counts are client-visible outcomes).
+/// Monitoring snapshot.  submitted == answered + stale + degraded + shed
+/// + expired + errors once the service is idle (counts are client-visible
+/// outcomes).
 struct ServiceStats {
   std::uint64_t submitted = 0;
   std::uint64_t answered = 0;
   std::uint64_t stale = 0;
+  /// Brownout answers: served from the cache with kDegraded instead of
+  /// being shed.
+  std::uint64_t degraded = 0;
   std::uint64_t shed = 0;
   std::uint64_t expired = 0;
   std::uint64_t errors = 0;
   std::uint64_t polls = 0;
   std::uint64_t snapshot_version = 0;
+  /// Fresh result-cache hits (exact current-version match; answered
+  /// without consuming an admission slot or a worker).
+  std::uint64_t cache_hits = 0;
+  /// Current global admission budget (queue_capacity unless the AIMD
+  /// controller has moved it).
+  std::size_t admission_budget = 0;
   std::size_t in_flight_high_water = 0;
   /// Service-side completion latency quantiles (executed queries only),
   /// conservative bucket upper bounds.  Sourced from the wired metrics
@@ -148,8 +174,14 @@ class QueryService {
     /// Worker threads answering queries.
     std::size_t workers = 4;
     /// Admission bound: queries in flight (queued + executing) beyond
-    /// this are shed with kOverloaded.
+    /// this are shed with kOverloaded.  With `adaptive`, this is only the
+    /// starting budget.
     std::size_t queue_capacity = 64;
+    /// Fraction of the budget reserved as weighted per-tenant slices;
+    /// the rest is a shared pool (see TenantAdmission::Options).
+    double reserved_fraction = 0.75;
+    /// Upper bound on register_tenant calls.
+    std::size_t max_tenants = 64;
     /// Deadline for queries that do not carry their own.
     std::chrono::microseconds default_deadline{100'000};
     /// Staleness SLO for queries that do not carry their own: answers
@@ -157,6 +189,19 @@ class QueryService {
     Seconds staleness_slo = 10.0;
     /// Wall-clock pacing between background poll steps.
     std::chrono::microseconds poll_interval{2'000};
+    /// AIMD concurrency control: let the observed completion p99 resize
+    /// the admission budget between aimd.min_budget and aimd.max_budget.
+    /// Off by default (fixed queue_capacity, the pre-PR-7 behaviour).
+    bool adaptive = false;
+    AimdController::Options aimd;
+    /// Result-cache fingerprints retained per response type; 0 disables
+    /// caching and brownout entirely (default: existing callers see the
+    /// exact pre-cache service).
+    std::size_t cache_capacity = 0;
+    /// Brownout accuracy half-life: a cached answer served under
+    /// overload is discounted by 2^(-age / halflife) (model-clock age of
+    /// its snapshot).  0 serves brownout answers undiscounted.
+    Seconds brownout_halflife = 30.0;
   };
 
   explicit QueryService(Options options);
@@ -192,13 +237,29 @@ class QueryService {
     return model_now_.load(std::memory_order_acquire);
   }
 
+  /// Registers a tenant for weighted fair admission and returns its id
+  /// (stamp it on queries / hand it to a RemosClient).  Register tenants
+  /// before set_obs so their metric handles resolve.
+  int register_tenant(const std::string& name, double weight);
+
   /// Synchronous query entry points, callable from any thread.  Always
   /// return by the query's deadline; never throw.
   GraphResponse get_graph(GraphQuery query);
   FlowInfoResponse flow_info(FlowInfoQuery query);
 
   const SnapshotStore& snapshots() const { return store_; }
-  const AdmissionController& admission() const { return admission_; }
+  const TenantAdmission& admission() const { return admission_; }
+  /// Mutable admission surface: an external controller may resize the
+  /// budget; tests pre-occupy slots to drive the shed/brownout path
+  /// deterministically.  Slots acquired here must be released here.
+  TenantAdmission& admission() { return admission_; }
+  const AimdController* aimd() const { return aimd_.get(); }
+  const ResultCache<GraphResponse>* graph_cache() const {
+    return graph_cache_.get();
+  }
+  const ResultCache<FlowInfoResponse>* flow_cache() const {
+    return flow_cache_.get();
+  }
   const Options& options() const { return options_; }
   ServiceStats stats() const;
 
@@ -209,17 +270,40 @@ class QueryService {
     std::atomic<bool> abandoned{false};
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;
+    int tenant = TenantAdmission::kDefaultTenant;
   };
 
-  template <typename Response, typename Fn>
-  Response submit(std::chrono::microseconds deadline_budget, Fn execute);
+  /// `brownout` is invoked when admission sheds the query; returning a
+  /// response (the cached-degraded rung of the ladder) replaces the
+  /// kOverloaded outcome.
+  template <typename Response, typename Fn, typename Brownout>
+  Response submit(std::chrono::microseconds deadline_budget, int tenant,
+                  Fn execute, Brownout brownout);
   template <typename Response, typename Fn>
   void run_job(const std::shared_ptr<Pending<Response>>& state, Fn& execute);
   template <typename Response, typename Fn>
   Response answer(Seconds staleness_budget, bool trace,
                   std::chrono::steady_clock::time_point enqueued,
                   Fn&& query_fn);
+  /// Fresh-hit fast path: serves `key` from `cache` iff the cached
+  /// version matches the store's current version.  O(1): no admission
+  /// slot, no worker, no Modeler.
+  template <typename Response>
+  std::optional<Response> cache_fresh_hit(ResultCache<Response>* cache,
+                                          const std::string& key,
+                                          Seconds staleness_budget,
+                                          int tenant);
+  /// Brownout rung: any-version cached answer, accuracy discounted by
+  /// snapshot age, status kDegraded.  nullopt when the cache has nothing.
+  template <typename Response>
+  std::optional<Response> cache_brownout(ResultCache<Response>* cache,
+                                         const std::string& key);
+  /// Inserts an executed answer into the cache, pinning its snapshot.
+  template <typename Response>
+  void cache_store(ResultCache<Response>* cache, const std::string& key,
+                   const Response& response);
   void count_outcome(QueryStatus status);
+  void count_tenant(int tenant, bool admitted);
   void note_shed(bool shed);
 
   void worker_loop();
@@ -227,7 +311,10 @@ class QueryService {
 
   Options options_;
   SnapshotStore store_;
-  AdmissionController admission_;
+  TenantAdmission admission_;
+  std::unique_ptr<AimdController> aimd_;
+  std::unique_ptr<ResultCache<GraphResponse>> graph_cache_;
+  std::unique_ptr<ResultCache<FlowInfoResponse>> flow_cache_;
   std::atomic<double> model_now_{0.0};
 
   std::mutex mutex_;  // guards queue_, stopping_, started_
@@ -242,10 +329,12 @@ class QueryService {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> answered_{0};
   std::atomic<std::uint64_t> stale_{0};
+  std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> expired_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> polls_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
 
   // Observability (no-op sinks until set_obs).
   obs::FlightRecorder* recorder_ = nullptr;
@@ -258,6 +347,13 @@ class QueryService {
   obs::Gauge snapshot_age_gauge_;
   obs::Histogram latency_;        // seconds, submission -> response
   obs::Histogram deadline_slack_; // seconds left when the answer landed
+  obs::Counter cache_hit_counter_;
+  obs::Counter brownout_counter_;
+  obs::Gauge budget_gauge_;
+  /// Per-tenant admitted/shed counters, indexed by tenant id; resolved at
+  /// set_obs time for tenants registered by then (register first).
+  std::vector<obs::Counter> tenant_admitted_counters_;
+  std::vector<obs::Counter> tenant_shed_counters_;
   std::atomic<bool> shedding_{false};  // edge detector for episode events
 
   // History series (telemetry plane; null until set_obs with a store):

@@ -1,0 +1,117 @@
+#include "service/remos_client.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace remos::service {
+
+RemosClient::RemosClient(QueryService& service, Options options)
+    : service_(service), options_(options), rng_(options.seed) {
+  if (options_.max_attempts == 0)
+    throw InvalidArgument("RemosClient: zero attempts");
+  if (options_.retry_budget_ratio < 0)
+    throw InvalidArgument("RemosClient: negative retry budget ratio");
+  if (options_.retry_budget_cap < 0)
+    throw InvalidArgument("RemosClient: negative retry budget cap");
+  if (options_.jitter < 0 || options_.jitter > 1)
+    throw InvalidArgument("RemosClient: jitter outside [0,1]");
+  retry_tokens_ = options_.retry_budget_cap;
+}
+
+bool RemosClient::spend_retry_token() {
+  std::lock_guard<std::mutex> lk(budget_mutex_);
+  if (retry_tokens_ < 1.0) return false;
+  retry_tokens_ -= 1.0;
+  return true;
+}
+
+std::chrono::microseconds RemosClient::jittered(
+    std::chrono::microseconds backoff) {
+  double factor = 1.0;
+  if (options_.jitter > 0) {
+    std::lock_guard<std::mutex> lk(rng_mutex_);
+    factor = rng_.uniform(1.0 - options_.jitter, 1.0 + options_.jitter);
+  }
+  return std::chrono::microseconds(static_cast<std::int64_t>(
+      std::max(0.0, static_cast<double>(backoff.count()) * factor)));
+}
+
+template <typename Response, typename Query>
+Response RemosClient::run(Query query) {
+  using Clock = std::chrono::steady_clock;
+  query.tenant = options_.tenant;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  {
+    // Each fresh request earns its ratio of a retry token, up to the cap.
+    std::lock_guard<std::mutex> lk(budget_mutex_);
+    retry_tokens_ = std::min(options_.retry_budget_cap,
+                             retry_tokens_ + options_.retry_budget_ratio);
+  }
+
+  const auto total_budget =
+      query.deadline.value_or(service_.options().default_deadline);
+  const auto deadline = Clock::now() + total_budget;
+  auto backoff = options_.base_backoff;
+
+  Response r;
+  for (std::size_t attempt = 0;; ++attempt) {
+    // Deadline propagation: this attempt gets only what is left.
+    const auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+        deadline - Clock::now());
+    if (remaining.count() <= 0) {
+      if (attempt == 0) {
+        r.meta.status = QueryStatus::kExpired;
+        attempts_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return r;
+    }
+    Query q = query;
+    q.deadline = remaining;
+    attempts_.fetch_add(1, std::memory_order_relaxed);
+    if constexpr (std::is_same_v<Response, GraphResponse>)
+      r = service_.get_graph(std::move(q));
+    else
+      r = service_.flow_info(std::move(q));
+
+    if (r.meta.status != QueryStatus::kOverloaded) return r;
+    if (attempt + 1 >= options_.max_attempts) return r;
+    const auto sleep = jittered(backoff);
+    if (sleep >= deadline - Clock::now()) {
+      // The backoff would outlive the deadline: stop, report honestly.
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return r;
+    }
+    if (!spend_retry_token()) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return r;
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    if (sleep.count() > 0) std::this_thread::sleep_for(sleep);
+    backoff *= 2;
+  }
+}
+
+GraphResponse RemosClient::get_graph(GraphQuery query) {
+  return run<GraphResponse>(std::move(query));
+}
+
+FlowInfoResponse RemosClient::flow_info(FlowInfoQuery query) {
+  return run<FlowInfoResponse>(std::move(query));
+}
+
+RemosClient::Stats RemosClient::stats() const {
+  Stats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.attempts = attempts_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.suppressed = suppressed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(budget_mutex_);
+    s.retry_tokens = retry_tokens_;
+  }
+  return s;
+}
+
+}  // namespace remos::service

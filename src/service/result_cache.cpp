@@ -1,0 +1,90 @@
+#include "service/result_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace remos::service {
+namespace {
+
+void append(std::ostringstream& out, const core::Timeframe& t) {
+  out << "tf:" << static_cast<int>(t.kind) << ':' << t.window << ':'
+      << t.horizon << ';';
+}
+
+void append(std::ostringstream& out, const core::FlowRequest& f) {
+  out << f.src << '>' << f.dst << '@' << f.requested << ';';
+}
+
+void append(std::ostringstream& out, const core::MulticastRequest& m) {
+  out << m.src << '>';
+  for (const std::string& d : m.dsts) out << d << ',';
+  out << '@' << m.requested << ';';
+}
+
+double clamped(double accuracy, double factor) {
+  return std::clamp(accuracy * std::clamp(factor, 0.0, 1.0), 0.0, 1.0);
+}
+
+void discount(Measurement& m, double factor) {
+  m.accuracy = clamped(m.accuracy, factor);
+}
+
+}  // namespace
+
+std::string canonical_key(const GraphQuery& query) {
+  std::ostringstream out;
+  out << "g|";
+  std::vector<std::string> nodes = query.nodes;
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  for (const std::string& n : nodes) out << n << ',';
+  out << '|';
+  append(out, query.timeframe);
+  out << "o:" << query.options.collapse_chains << ':'
+      << query.options.keep_all << ':' << query.options.accuracy_halflife;
+  return out.str();
+}
+
+std::string canonical_key(const FlowInfoQuery& query) {
+  std::ostringstream out;
+  out << "f|x:";
+  for (const core::FlowRequest& f : query.query.fixed) append(out, f);
+  out << "|m:";
+  for (const core::MulticastRequest& m : query.query.multicast)
+    append(out, m);
+  out << "|v:";
+  for (const core::FlowRequest& f : query.query.variable) append(out, f);
+  out << "|i:";
+  if (query.query.independent) append(out, *query.query.independent);
+  out << '|';
+  append(out, query.query.timeframe);
+  return out.str();
+}
+
+void discount_accuracy(GraphResponse& response, double factor) {
+  // Capacities and latencies stay untouched: physical invariants do not
+  // erode with age.  Usage and forwarding estimates do.
+  for (core::GraphLink& link : response.graph.mutable_links()) {
+    discount(link.used_ab, factor);
+    discount(link.used_ba, factor);
+  }
+  for (auto& [name, node] : response.graph.mutable_nodes())
+    discount(node.internal_bw, factor);
+}
+
+void discount_accuracy(FlowInfoResponse& response, double factor) {
+  auto each = [factor](core::FlowResult& r) {
+    discount(r.bandwidth, factor);
+    discount(r.latency, factor);
+  };
+  for (core::FlowResult& r : response.result.fixed) each(r);
+  for (core::MulticastResult& m : response.result.multicast) {
+    discount(m.bandwidth, factor);
+    discount(m.latency, factor);
+  }
+  for (core::FlowResult& r : response.result.variable) each(r);
+  if (response.result.independent) each(*response.result.independent);
+}
+
+}  // namespace remos::service

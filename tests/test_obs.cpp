@@ -263,6 +263,7 @@ TEST(Recorder, ConcurrentRecordingIsSafe) {
 TEST(Status, EveryEnumHasAStableLabel) {
   EXPECT_STREQ(to_string(QueryStatus::kAnswered), "answered");
   EXPECT_STREQ(to_string(QueryStatus::kStale), "stale");
+  EXPECT_STREQ(to_string(QueryStatus::kDegraded), "degraded");
   EXPECT_STREQ(to_string(QueryStatus::kOverloaded), "overloaded");
   EXPECT_STREQ(to_string(QueryStatus::kExpired), "expired");
   EXPECT_STREQ(to_string(QueryStatus::kError), "error");

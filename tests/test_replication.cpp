@@ -25,6 +25,7 @@
 #include "collector/snapshot_codec.hpp"
 #include "netsim/generators.hpp"
 #include "netsim/topology.hpp"
+#include "obs/obs.hpp"
 #include "service/failover.hpp"
 #include "service/replication.hpp"
 
@@ -261,6 +262,94 @@ TEST(Failover, NoServingReplicaIsAStructuredError) {
   EXPECT_EQ(resp.meta.status, QueryStatus::kError);
   EXPECT_FALSE(resp.meta.error.empty());
   EXPECT_GE(rs.coordinator().stats().unrouted, 1u);
+  rs.stop();
+}
+
+TEST(Failover, SubSliceDeadlineFailsFast) {
+  // A total deadline that cannot cover even one min_attempt_slice is
+  // rejected before any replica is touched: a synthesized kExpired with
+  // a structured error beats issuing a doomed near-zero-budget attempt.
+  obs::Observability obs;
+  ReplicatedService::Options o = small_options(1);
+  o.failover.min_attempt_slice = std::chrono::microseconds(50'000);
+  ReplicatedService rs(o, obs.view());
+  rs.start();
+  collector::NetworkModel model = waxman_model(12, 21);
+  rs.publish(model, 1.0);
+
+  GraphQuery q;
+  q.nodes = {"h0", "h1"};
+  q.deadline = std::chrono::microseconds(49'999);
+  const GraphResponse resp = rs.coordinator().get_graph(std::move(q));
+  EXPECT_EQ(resp.meta.status, QueryStatus::kExpired);
+  EXPECT_NE(resp.meta.error.find("minimum attempt slice"),
+            std::string::npos);
+  EXPECT_EQ(rs.coordinator().stats().fast_expired, 1u);
+  // Fast means fast: the replica's service never saw the query.
+  EXPECT_EQ(rs.replica(0).service().stats().submitted, 0u);
+  EXPECT_EQ(
+      obs.metrics.counter("remos_failover_fast_expired_total", {}).value(),
+      1u);
+
+  // The boundary is strict (<): a deadline of exactly one slice is
+  // viable -- the clamp trims max_attempts down to the one attempt the
+  // budget covers, and the query is answered.
+  GraphQuery exact;
+  exact.nodes = {"h0", "h1"};
+  exact.deadline = std::chrono::microseconds(50'000);
+  const GraphResponse answered = rs.coordinator().get_graph(std::move(exact));
+  EXPECT_TRUE(answered.meta.ok());
+  EXPECT_EQ(rs.coordinator().stats().fast_expired, 1u);
+  EXPECT_EQ(rs.replica(0).service().stats().submitted, 1u);
+  rs.stop();
+}
+
+TEST(Failover, UnroutedAndDegradedFallbackAreExported) {
+  // The two "the plane is hurting" outcomes -- no routable replica at
+  // all, and a stale-fallback answer from an unhealthy replica -- must
+  // reach the metrics registry, not just the in-process Stats struct:
+  // they are exactly what an operator alerts on.
+  obs::Observability obs;
+  ReplicatedService::Options o = small_options(1);
+  o.failover.max_lag_versions = 4;
+  ReplicatedService rs(o, obs.view());
+  rs.start();
+
+  // Nothing published yet: the replica has never synced, so the query
+  // has nowhere to go.
+  GraphQuery q;
+  q.nodes = {"h0", "h1"};
+  const GraphResponse none = rs.coordinator().get_graph(std::move(q));
+  EXPECT_EQ(none.meta.status, QueryStatus::kError);
+  EXPECT_EQ(rs.coordinator().stats().unrouted, 1u);
+  EXPECT_EQ(obs.metrics.counter("remos_failover_unrouted_total", {}).value(),
+            1u);
+
+  // Three healthy rounds, then partition the replica and publish until
+  // its lag breaches max_lag_versions: unhealthy, but still serving its
+  // last applied snapshot.
+  collector::NetworkModel model = waxman_model(12, 22);
+  for (int round = 1; round <= 3; ++round) {
+    churn(model, round, round);
+    rs.publish(model, round);
+  }
+  rs.faults().partition(0, Window{3.5, 1e9});
+  for (int round = 4; round <= 12; ++round) {
+    churn(model, round, round);
+    rs.publish(model, round);
+  }
+  EXPECT_EQ(rs.coordinator().healthy_count(), 0u);
+  EXPECT_TRUE(rs.replica(0).serving());
+
+  GraphQuery q2;
+  q2.nodes = {"h0", "h1"};
+  const GraphResponse fallback = rs.coordinator().get_graph(std::move(q2));
+  EXPECT_TRUE(fallback.meta.ok()) << fallback.meta.error;
+  EXPECT_EQ(rs.coordinator().stats().degraded_fallback, 1u);
+  EXPECT_EQ(
+      obs.metrics.counter("remos_failover_degraded_fallback_total", {})
+          .value(),
+      1u);
   rs.stop();
 }
 

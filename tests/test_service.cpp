@@ -482,6 +482,7 @@ struct ClientTally {
   std::vector<std::chrono::microseconds> latencies;
   std::uint64_t answered = 0;
   std::uint64_t stale = 0;
+  std::uint64_t degraded = 0;
   std::uint64_t overloaded = 0;
   std::uint64_t expired = 0;
   std::uint64_t errors = 0;
@@ -492,6 +493,7 @@ struct ClientTally {
     switch (meta.status) {
       case QueryStatus::kAnswered: ++answered; break;
       case QueryStatus::kStale: ++stale; break;
+      case QueryStatus::kDegraded: ++degraded; break;
       case QueryStatus::kOverloaded: ++overloaded; break;
       case QueryStatus::kExpired: ++expired; break;
       case QueryStatus::kError: ++errors; break;
