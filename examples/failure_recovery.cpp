@@ -68,11 +68,10 @@ int main() {
   std::cout << "  with an aspen->whiteface competitor: mover "
             << to_mbps(sim.flow_rate(mover)) << " Mbps, competitor "
             << to_mbps(sim.flow_rate(competitor)) << " Mbps\n";
-  core::NetworkGraph graph;
-  remos_get_graph(harness.modeler(), {"m-4", "m-7"}, graph,
-                  core::Timeframe::current());
+  const core::GraphResult detour = remos_get_graph(
+      harness.modeler(), {"m-4", "m-7"}, core::Timeframe::current());
   std::cout << "  remos_get_graph now abstracts the detour:\n";
-  for (const auto& l : graph.links()) {
+  for (const auto& l : detour.graph.links()) {
     std::cout << "    " << l.a << " -- " << l.b;
     if (!l.abstracts.empty())
       std::cout << "  (hides: " << join(l.abstracts, ", ") << ")";

@@ -66,10 +66,20 @@ int main() {
   // interval exceed the budget and come back flagged kStale.
   so.staleness_slo = 1.0;
   so.poll_interval = std::chrono::milliseconds(3);
+  // Micro-batching: concurrently arriving flow_info calls coalesce into
+  // one shared batch solve per window (answers are bit-for-bit what the
+  // lone calls would have produced against the same snapshot).
+  so.coalesce_window = std::chrono::microseconds(200);
   auto service = harness.serve(so);
   std::cout << "service up: " << so.workers << " workers, queue depth "
             << so.queue_capacity << ", deadline 2 s, staleness SLO "
-            << fixed(so.staleness_slo, 0) << " s (model clock)\n";
+            << fixed(so.staleness_slo, 0) << " s (model clock), coalesce "
+            << "window " << so.coalesce_window.count() << " us\n";
+
+  // Clients program against the one FlowInfoEndpoint surface; swapping in
+  // a RemosClient or a FailoverCoordinator is a wiring change, not a
+  // call-site change.
+  service::FlowInfoEndpoint& endpoint = *service;
 
   constexpr int kClients = 8;
   constexpr Seconds kEnd = 130.0;
@@ -89,13 +99,13 @@ int main() {
               mbps(5)}};
           service::FlowInfoQuery q;
           q.query = std::move(fq);
-          meta = service->flow_info(std::move(q)).meta;
+          meta = endpoint.flow_info(std::move(q)).meta;
         } else {
           service::GraphQuery q;
           q.nodes = {hosts[static_cast<std::size_t>(i) % hosts.size()],
                      hosts[static_cast<std::size_t>(i + 1 + c) %
                            hosts.size()]};
-          meta = service->get_graph(std::move(q)).meta;
+          meta = endpoint.get_graph(std::move(q)).meta;
         }
         tally.count(meta.status);
         ++i;
@@ -128,6 +138,14 @@ int main() {
             << stats.p99_us << " us; in-flight high water "
             << stats.in_flight_high_water << "/" << so.queue_capacity
             << "\n";
+  if (stats.coalesced_batches > 0)
+    std::cout << "coalescer: " << stats.coalesced_queries
+              << " flow queries folded into " << stats.coalesced_batches
+              << " batch solves (mean batch "
+              << fixed(static_cast<double>(stats.coalesced_queries) /
+                           static_cast<double>(stats.coalesced_batches),
+                       1)
+              << ")\n";
 
   // The measurement plane really did degrade: show what the collector saw.
   std::cout << "\ncollector health transitions during the storm:\n";

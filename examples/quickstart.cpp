@@ -25,11 +25,11 @@ int main() {
   harness.sim().run_for(20.0);
 
   // --- remos_get_graph: the logical topology between three hosts ---
-  core::NetworkGraph graph;
-  remos_get_graph(harness.modeler(), {"m-1", "m-4", "m-8"}, graph,
-                  core::Timeframe::history(15.0));
+  const core::GraphResult topo =
+      remos_get_graph(harness.modeler(), {"m-1", "m-4", "m-8"},
+                      core::Timeframe::history(15.0));
   std::cout << "logical topology for {m-1, m-4, m-8} over the last 15 s:\n"
-            << graph.to_string() << "\n";
+            << topo.graph.to_string() << "\n";
 
   // --- remos_flow_info: a three-class flow query ---
   // A fixed 8 Mbps feed m-1 -> m-4, two variable flows from m-4 sharing
@@ -64,5 +64,24 @@ int main() {
 
   std::cout << "\nall fixed flows satisfied: "
             << (result.all_fixed_satisfied() ? "yes" : "no") << "\n";
+
+  // --- remos_flow_info_batch: N what-ifs, one snapshot, one call ---
+  // Independent mode answers each sub-query exactly as a lone call would
+  // (none of them sees the others), amortizing the shared routing work;
+  // the same batch can also go through any service::FlowInfoEndpoint as
+  // flow_info_batch.
+  core::FlowBatchQuery batch;
+  batch.mode = core::FlowBatchQuery::Mode::kIndependent;
+  for (const char* dst : {"m-5", "m-7", "m-8"}) {
+    core::FlowQuery what_if;
+    what_if.variable.push_back(core::FlowRequest{"m-4", dst, 1.0});
+    what_if.timeframe = core::Timeframe::history(15.0);
+    batch.queries.push_back(std::move(what_if));
+  }
+  const core::FlowBatchResult batched =
+      remos_flow_info_batch(harness.modeler(), batch);
+  std::cout << "\nbatched what-ifs from m-4 (independent mode):\n";
+  for (std::size_t i = 0; i < batched.results.size(); ++i)
+    show("what-if    ", batched.results[i].variable[0]);
   return 0;
 }

@@ -89,4 +89,44 @@ struct FlowQueryResult {
   }
 };
 
+/// N flow queries resolved against one snapshot in one call (the batch
+/// form of the paper's §4 "simultaneous queries").
+///
+///   kShared      the sub-queries are co-scheduled: they are solved as
+///                ONE combined FlowQuery (sub-query flow lists
+///                concatenated in order), so the batch's flows share the
+///                network with each other exactly as the paper's
+///                simultaneous-query semantics prescribe.  Requires a
+///                single timeframe across the batch and admits at most
+///                one independent flow in total.
+///   kIndependent each sub-query is an isolated what-if: it sees the
+///                measured background but NOT the other sub-queries.
+///                Answers are bit-for-bit identical to N sequential
+///                flow_info calls against the same snapshot; the batch
+///                only amortizes the shared work (routing index, logical
+///                graph builds for sub-queries naming the same
+///                endpoints).
+struct FlowBatchQuery {
+  enum class Mode { kShared, kIndependent };
+  Mode mode = Mode::kIndependent;
+  std::vector<FlowQuery> queries;
+};
+
+struct FlowBatchResult {
+  /// Index-aligned with FlowBatchQuery::queries.
+  std::vector<FlowQueryResult> results;
+  /// Index-aligned per-sub-query failure detail (independent mode): a
+  /// non-empty string marks a structurally malformed sub-query whose
+  /// result slot is empty; the rest of the batch still answers.  Shared
+  /// mode has no per-sub isolation -- a malformed sub-query fails the
+  /// whole combined solve -- so there every entry is empty.
+  std::vector<std::string> errors;
+
+  bool all_ok() const {
+    for (const std::string& e : errors)
+      if (!e.empty()) return false;
+    return true;
+  }
+};
+
 }  // namespace remos::core

@@ -149,13 +149,9 @@ double used_at(const Measurement& used, std::size_t scenario) {
   }
 }
 
-}  // namespace
-
-FlowQueryResult Modeler::flow_info(const FlowQuery& query) const {
-  query.timeframe.validate();
-  queries_answered_.fetch_add(1, std::memory_order_relaxed);
-  if (obs_) obs_->flow_queries.inc();
-  // Endpoint set -> logical graph for the query's timeframe.
+/// Validates the flow structure and collects the endpoint set (the
+/// InvalidArgument throws here are flow_info's documented contract).
+std::set<std::string> flow_query_endpoints(const FlowQuery& query) {
   std::vector<const FlowRequest*> all;
   for (const FlowRequest& f : query.fixed) all.push_back(&f);
   for (const FlowRequest& f : query.variable) all.push_back(&f);
@@ -181,26 +177,69 @@ FlowQueryResult Modeler::flow_info(const FlowQuery& query) const {
       endpoint_set.insert(d);
     }
   }
-  // Endpoints the model does not know make their flows structured
-  // routable=false results instead of a NotFoundError escaping the query
-  // API mid-session; the logical graph is built over the known names.
+  return endpoint_set;
+}
+
+/// Fingerprint of what determines a flow query's logical graph: the
+/// timeframe and the known endpoint set (already sorted by std::set).
+/// Independent-mode batch sub-queries with equal keys share one build.
+std::string graph_group_key(const Timeframe& tf,
+                            const std::set<std::string>& known) {
+  std::string key = std::to_string(static_cast<int>(tf.kind)) + ':' +
+                    std::to_string(tf.window) + ':' +
+                    std::to_string(tf.horizon);
+  for (const std::string& e : known) {
+    key += '\x1f';
+    key += e;
+  }
+  return key;
+}
+
+}  // namespace
+
+NetworkGraph Modeler::build_flow_graph(const collector::NetworkModel& m,
+                                       const std::set<std::string>& known,
+                                       const Timeframe& timeframe) const {
+  // The embedded topology lookup counts as a graph query of its own.
+  queries_answered_.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceBuilder::Scoped span(trace_, "logical_build");
+  NetworkGraph graph;
+  const std::vector<std::string> endpoints(known.begin(), known.end());
+  if (!endpoints.empty())
+    graph = build_logical_graph(m, endpoints, timeframe, now(m),
+                                *predictor_, LogicalOptions{});
+  return graph;
+}
+
+FlowQueryResult Modeler::flow_info(const FlowQuery& query) const {
+  query.timeframe.validate();
+  queries_answered_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_) obs_->flow_queries.inc();
+  // Endpoint set -> logical graph for the query's timeframe.  Endpoints
+  // the model does not know make their flows structured routable=false
+  // results instead of a NotFoundError escaping the query API
+  // mid-session; the logical graph is built over the known names.
+  const std::set<std::string> endpoint_set = flow_query_endpoints(query);
   const collector::NetworkModel& m = model();
   std::set<std::string> known;
   for (const std::string& e : endpoint_set)
     if (m.has_node(e)) known.insert(e);
+  const NetworkGraph graph = build_flow_graph(m, known, query.timeframe);
+  std::map<std::string, RouteTree> route_trees;
+  return solve_on_graph(query, graph, known, route_trees);
+}
+
+FlowQueryResult Modeler::solve_on_graph(
+    const FlowQuery& query, const NetworkGraph& graph,
+    const std::set<std::string>& known,
+    std::map<std::string, RouteTree>& route_trees) const {
+  std::vector<const FlowRequest*> all;
+  for (const FlowRequest& f : query.fixed) all.push_back(&f);
+  for (const FlowRequest& f : query.variable) all.push_back(&f);
+  if (query.independent) all.push_back(&*query.independent);
   const auto resolvable = [&](const FlowRequest& f) {
     return known.contains(f.src) && known.contains(f.dst);
   };
-  const std::vector<std::string> endpoints(known.begin(), known.end());
-  NetworkGraph graph;
-  {
-    // The embedded topology lookup counts as a graph query of its own.
-    queries_answered_.fetch_add(1, std::memory_order_relaxed);
-    obs::TraceBuilder::Scoped span(trace_, "logical_build");
-    if (!endpoints.empty())
-      graph = build_logical_graph(m, endpoints, query.timeframe, now(m),
-                                  *predictor_, LogicalOptions{});
-  }
 
   // Resource table over the logical graph: two directed resources per
   // link, then one per node with a known internal bandwidth.
@@ -228,7 +267,6 @@ FlowQueryResult Modeler::flow_info(const FlowQuery& query) const {
   // memoized per distinct source instead of re-run per flow.
   const std::size_t route_span =
       trace_ ? trace_->open("route_resolution") : 0;
-  std::map<std::string, RouteTree> route_trees;
   const auto tree_for = [&](const std::string& src) -> const RouteTree& {
     auto it = route_trees.find(src);
     if (it == route_trees.end())
@@ -457,6 +495,106 @@ FlowQueryResult Modeler::flow_info(const FlowQuery& query) const {
     result.variable.push_back(to_result(query.fixed.size() + i));
   if (query.independent) result.independent = to_result(all.size() - 1);
   return result;
+}
+
+FlowBatchResult Modeler::flow_info_batch(const FlowBatchQuery& batch) const {
+  if (batch.queries.empty())
+    throw InvalidArgument("flow_info_batch: empty batch");
+  FlowBatchResult out;
+  out.results.resize(batch.queries.size());
+  out.errors.resize(batch.queries.size());
+
+  if (batch.mode == FlowBatchQuery::Mode::kShared) {
+    // Co-scheduled: the batch IS one combined simultaneous query (paper
+    // §4), so one staged max-min sweep prices every sub-query's flows
+    // against each other.  The combined query has a single timeframe and
+    // at most one independent flow; anything else is a contradiction in
+    // the sharing semantics, not an answerable question.
+    const Timeframe& tf = batch.queries.front().timeframe;
+    std::size_t independents = 0;
+    for (const FlowQuery& q : batch.queries) {
+      if (q.timeframe.kind != tf.kind || q.timeframe.window != tf.window ||
+          q.timeframe.horizon != tf.horizon)
+        throw InvalidArgument(
+            "flow_info_batch: shared batch requires one timeframe");
+      if (q.independent) ++independents;
+    }
+    if (independents > 1)
+      throw InvalidArgument(
+          "flow_info_batch: shared batch admits at most one independent "
+          "flow");
+
+    FlowQuery combined;
+    combined.timeframe = tf;
+    for (const FlowQuery& q : batch.queries) {
+      combined.fixed.insert(combined.fixed.end(), q.fixed.begin(),
+                            q.fixed.end());
+      combined.multicast.insert(combined.multicast.end(),
+                                q.multicast.begin(), q.multicast.end());
+      combined.variable.insert(combined.variable.end(), q.variable.begin(),
+                               q.variable.end());
+      if (q.independent) combined.independent = q.independent;
+    }
+    const FlowQueryResult cr = flow_info(combined);
+
+    // Scatter the combined answer back by sub-query offsets.
+    std::size_t fi = 0, mi = 0, vi = 0;
+    for (std::size_t i = 0; i < batch.queries.size(); ++i) {
+      const FlowQuery& q = batch.queries[i];
+      FlowQueryResult& r = out.results[i];
+      r.fixed.assign(cr.fixed.begin() + static_cast<std::ptrdiff_t>(fi),
+                     cr.fixed.begin() +
+                         static_cast<std::ptrdiff_t>(fi + q.fixed.size()));
+      r.multicast.assign(
+          cr.multicast.begin() + static_cast<std::ptrdiff_t>(mi),
+          cr.multicast.begin() +
+              static_cast<std::ptrdiff_t>(mi + q.multicast.size()));
+      r.variable.assign(
+          cr.variable.begin() + static_cast<std::ptrdiff_t>(vi),
+          cr.variable.begin() +
+              static_cast<std::ptrdiff_t>(vi + q.variable.size()));
+      if (q.independent) r.independent = cr.independent;
+      fi += q.fixed.size();
+      mi += q.multicast.size();
+      vi += q.variable.size();
+    }
+    return out;
+  }
+
+  // Independent mode: each sub-query is answered exactly as a lone
+  // flow_info call would answer it (same validation, same known-endpoint
+  // graph, same staged sweep), but sub-queries naming the same
+  // (endpoint set, timeframe) share one logical-graph build and one
+  // route-tree memo -- the graphs are pure functions of that key, so
+  // sharing is bit-for-bit invisible in the results.
+  struct Group {
+    NetworkGraph graph;
+    std::map<std::string, RouteTree> route_trees;
+    bool built = false;
+  };
+  std::map<std::string, Group> groups;
+  const collector::NetworkModel& m = model();
+  for (std::size_t i = 0; i < batch.queries.size(); ++i) {
+    const FlowQuery& q = batch.queries[i];
+    try {
+      q.timeframe.validate();
+      queries_answered_.fetch_add(1, std::memory_order_relaxed);
+      if (obs_) obs_->flow_queries.inc();
+      const std::set<std::string> endpoint_set = flow_query_endpoints(q);
+      std::set<std::string> known;
+      for (const std::string& e : endpoint_set)
+        if (m.has_node(e)) known.insert(e);
+      Group& g = groups[graph_group_key(q.timeframe, known)];
+      if (!g.built) {
+        g.graph = build_flow_graph(m, known, q.timeframe);
+        g.built = true;
+      }
+      out.results[i] = solve_on_graph(q, g.graph, known, g.route_trees);
+    } catch (const std::exception& e) {
+      out.errors[i] = e.what();
+    }
+  }
+  return out;
 }
 
 }  // namespace remos::core

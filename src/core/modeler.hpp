@@ -21,7 +21,9 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 
 #include "collector/collector.hpp"
 #include "collector/collector_set.hpp"
@@ -125,6 +127,25 @@ class Modeler {
   /// timeframe) still throw InvalidArgument.
   FlowQueryResult flow_info(const FlowQuery& query) const;
 
+  /// remos_flow_info_batch: N flow queries against this one session in
+  /// one call (see core::FlowBatchQuery for the two sharing modes).
+  ///
+  /// Shared mode solves the batch as one combined FlowQuery -- one
+  /// staged max-min sweep for all sub-queries -- and scatters the
+  /// results back per sub-query; it throws InvalidArgument when the
+  /// batch mixes timeframes, names more than one independent flow, or a
+  /// sub-query is structurally malformed (the combined solve has no
+  /// per-sub isolation).
+  ///
+  /// Independent mode answers each sub-query exactly as a lone
+  /// flow_info call would (bit-for-bit), building each distinct
+  /// (endpoint set, timeframe) logical graph once and sharing it across
+  /// the sub-queries that need it.  A malformed sub-query lands in
+  /// FlowBatchResult::errors instead of failing the batch.
+  ///
+  /// An empty batch throws InvalidArgument.
+  FlowBatchResult flow_info_batch(const FlowBatchQuery& batch) const;
+
   /// Number of queries answered (overhead bookkeeping for the ablation).
   std::size_t queries_answered() const {
     return queries_answered_.load(std::memory_order_relaxed);
@@ -133,6 +154,20 @@ class Modeler {
  private:
   const collector::NetworkModel& model() const;
   Seconds now(const collector::NetworkModel& m) const;
+  /// Logical graph over the known flow endpoints, exactly as a lone
+  /// flow_info builds it (empty endpoint set -> empty graph).
+  NetworkGraph build_flow_graph(const collector::NetworkModel& m,
+                                const std::set<std::string>& known,
+                                const Timeframe& timeframe) const;
+  /// Routes and solves `query` against a pre-built logical graph --
+  /// everything flow_info does after the graph build.  `route_trees`
+  /// memoizes per-source route trees over `graph`; callers sharing one
+  /// graph across queries may share the memo (trees depend only on the
+  /// graph).
+  FlowQueryResult solve_on_graph(
+      const FlowQuery& query, const NetworkGraph& graph,
+      const std::set<std::string>& known,
+      std::map<std::string, RouteTree>& route_trees) const;
 
   const collector::Collector* single_ = nullptr;
   const collector::CollectorSet* set_ = nullptr;

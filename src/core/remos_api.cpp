@@ -8,6 +8,7 @@ core::GraphResult remos_get_graph(const core::Modeler& session,
   return session.get_graph_result(nodes, timeframe);
 }
 
+// Defining a [[deprecated]] function is not a use; only callers warn.
 void remos_get_graph(const core::Modeler& session,
                      const std::vector<std::string>& nodes,
                      core::NetworkGraph& graph,
@@ -43,6 +44,11 @@ core::FlowQueryResult remos_flow_info(
   query.multicast = std::move(multicast_flows);
   query.timeframe = timeframe;
   return session.flow_info(query);
+}
+
+core::FlowBatchResult remos_flow_info_batch(const core::Modeler& session,
+                                            const core::FlowBatchQuery& batch) {
+  return session.flow_info_batch(batch);
 }
 
 }  // namespace remos

@@ -13,23 +13,26 @@
 // API; these wrappers exist so code written against the paper reads
 // one-to-one.
 //
-// Facade <-> object-oriented mapping:
+// Facade table (every overload, one row each):
 //
-//   remos_get_graph(session, nodes, tf)
-//       -> Modeler::get_graph_result(nodes, tf)       [structured]
-//   remos_get_graph(session, nodes, graph&, tf)
-//       -> Modeler::get_graph(nodes, tf)              [throwing, legacy]
-//   remos_flow_info(session, query)
-//       -> Modeler::flow_info(query)                  [full FlowQuery]
-//   remos_flow_info(session, fixed, variable, independent, tf)
-//       -> Modeler::flow_info over an assembled FlowQuery
-//   remos_flow_info(session, fixed, variable, independent, multicast, tf)
-//       -> same, carrying the paper's multicast flow class
+//   facade call                          forwards to                 notes
+//   ---------------------------------    -------------------------   -----
+//   remos_get_graph(s, nodes, tf)        Modeler::get_graph_result   structured; never throws for bad input
+//   remos_get_graph(s, nodes, g&, tf)    Modeler::get_graph          LEGACY output-parameter form; throws; [[deprecated]]
+//   remos_flow_info(s, query)            Modeler::flow_info          full FlowQuery (fixed + multicast + variable + independent)
+//   remos_flow_info(s, fx, var, ind, tf) Modeler::flow_info          assembles the FlowQuery; the paper's exact signature
+//   remos_flow_info(s, fx, var, ind,     Modeler::flow_info          as above, carrying the paper's multicast flow class
+//                   mcast, tf)
+//   remos_flow_info_batch(s, batch)      Modeler::flow_info_batch    N queries, one snapshot, one shared solve (batch plane)
 //
 // The structured forms never throw for bad input: unknown nodes come
 // back as GraphResult::unknown_nodes / FlowResult::routable == false,
 // and malformed timeframes as GraphStatus::kInvalid -- one mistyped
-// endpoint cannot abort a long-running session.
+// endpoint cannot abort a long-running session.  The flow_info forms
+// still throw InvalidArgument for structurally malformed queries
+// (src == dst, empty query, degenerate timeframe), as does
+// remos_flow_info_batch for a malformed batch shape (empty batch,
+// shared-mode timeframe mismatch, two independent flows).
 #pragma once
 
 #include "core/modeler.hpp"
@@ -45,7 +48,12 @@ core::GraphResult remos_get_graph(const core::Modeler& session,
 
 /// Legacy output-parameter form (the paper's exact shape).  Throws
 /// NotFoundError when a node is unknown and InvalidArgument on a
-/// malformed timeframe; prefer the GraphResult overload.
+/// malformed timeframe -- an exception path the structured overload
+/// replaced; migrate to `remos_get_graph(session, nodes, timeframe)`
+/// and branch on GraphResult::status instead.
+[[deprecated(
+    "use the structured GraphResult overload: "
+    "remos_get_graph(session, nodes, timeframe)")]]
 void remos_get_graph(const core::Modeler& session,
                      const std::vector<std::string>& nodes,
                      core::NetworkGraph& graph,
@@ -73,5 +81,12 @@ core::FlowQueryResult remos_flow_info(
     std::optional<core::FlowRequest> independent_flow,
     std::vector<core::MulticastRequest> multicast_flows,
     const core::Timeframe& timeframe);
+
+/// Batch form: N flow queries against one session state in one call --
+/// co-scheduled (one combined max-min solve, the paper's §4 simultaneous
+/// semantics across the whole batch) or independent what-ifs sharing the
+/// session's routing work.  See core::FlowBatchQuery.
+core::FlowBatchResult remos_flow_info_batch(const core::Modeler& session,
+                                            const core::FlowBatchQuery& batch);
 
 }  // namespace remos

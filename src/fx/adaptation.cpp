@@ -21,13 +21,28 @@ void credit_back(Measurement& used, BitsPerSec rate) {
 
 }  // namespace
 
-AdaptationModule::AdaptationModule(const core::Modeler& modeler,
+AdaptationModule::AdaptationModule(service::FlowInfoEndpoint& endpoint,
                                    std::vector<std::string> candidate_nodes,
                                    std::string start_node, Options options)
-    : modeler_(&modeler),
+    : endpoint_(&endpoint),
       candidates_(std::move(candidate_nodes)),
       start_(std::move(start_node)),
       options_(options) {
+  validate_candidates();
+}
+
+AdaptationModule::AdaptationModule(const core::Modeler& modeler,
+                                   std::vector<std::string> candidate_nodes,
+                                   std::string start_node, Options options)
+    : owned_(std::make_unique<service::ModelerEndpoint>(modeler)),
+      endpoint_(owned_.get()),
+      candidates_(std::move(candidate_nodes)),
+      start_(std::move(start_node)),
+      options_(options) {
+  validate_candidates();
+}
+
+void AdaptationModule::validate_candidates() {
   if (candidates_.size() < 2)
     throw InvalidArgument("AdaptationModule: need at least two candidates");
   std::sort(candidates_.begin(), candidates_.end());
@@ -44,9 +59,21 @@ AdaptationModule::Decision AdaptationModule::evaluate(
       throw InvalidArgument("AdaptationModule: " + n + " not a candidate");
   ++evaluations_;
 
-  // 1. remos_get_graph over the candidate pool.
-  core::NetworkGraph graph =
-      modeler_->get_graph(candidates_, options_.timeframe);
+  // 1. remos_get_graph over the candidate pool, through whichever query
+  // surface was wired in.  Service-level failures (shed, expired, error)
+  // surface as exceptions here: a migration decision needs an answer.
+  service::GraphQuery gq;
+  gq.nodes = candidates_;
+  gq.timeframe = options_.timeframe;
+  service::GraphResponse resp = endpoint_->get_graph(std::move(gq));
+  if (!resp.meta.ok())
+    throw Error("AdaptationModule: get_graph " +
+                std::string(service::to_string(resp.meta.status)) +
+                (resp.meta.error.empty() ? "" : ": " + resp.meta.error));
+  if (!resp.unknown_nodes.empty())
+    throw NotFoundError("AdaptationModule: unknown candidate " +
+                        resp.unknown_nodes.front());
+  core::NetworkGraph graph = std::move(resp.graph);
 
   // 2. (optionally) credit the application's own traffic back: it moves
   // with the application, so no candidate mapping should be charged it.

@@ -17,12 +17,14 @@
 // back to the links its current mapping uses before costing it.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/clustering.hpp"
 #include "core/modeler.hpp"
+#include "service/endpoint.hpp"
 
 namespace remos::fx {
 
@@ -47,6 +49,21 @@ class AdaptationModule {
     double min_accuracy = 0.0;
   };
 
+  /// Programs against any Remos query surface -- an in-process
+  /// ModelerEndpoint, a QueryService, a retrying RemosClient or a
+  /// replicated FailoverCoordinator -- chosen at wiring time.  The
+  /// endpoint must outlive the module.
+  AdaptationModule(service::FlowInfoEndpoint& endpoint,
+                   std::vector<std::string> candidate_nodes,
+                   std::string start_node, Options options);
+  AdaptationModule(service::FlowInfoEndpoint& endpoint,
+                   std::vector<std::string> candidate_nodes,
+                   std::string start_node)
+      : AdaptationModule(endpoint, std::move(candidate_nodes),
+                         std::move(start_node), Options{}) {}
+
+  /// Convenience: wraps a bare Modeler in an owned ModelerEndpoint (the
+  /// pre-endpoint wiring; the modeler must outlive the module).
   AdaptationModule(const core::Modeler& modeler,
                    std::vector<std::string> candidate_nodes,
                    std::string start_node, Options options);
@@ -77,7 +94,11 @@ class AdaptationModule {
   std::size_t evaluations() const { return evaluations_; }
 
  private:
-  const core::Modeler* modeler_;
+  /// Sorts the candidate pool and rejects degenerate configurations.
+  void validate_candidates();
+
+  std::unique_ptr<service::ModelerEndpoint> owned_;  // Modeler ctor only
+  service::FlowInfoEndpoint* endpoint_;
   std::vector<std::string> candidates_;
   std::string start_;
   Options options_;

@@ -172,6 +172,14 @@ FlowInfoResponse FailoverCoordinator::flow_info(FlowInfoQuery query) {
                                  });
 }
 
+FlowBatchResponse FailoverCoordinator::flow_info_batch(
+    FlowBatchInfoQuery query) {
+  return route<FlowBatchResponse>(
+      query, [](ReplicaStore& r, FlowBatchInfoQuery& q) {
+        return r.service().flow_info_batch(q);
+      });
+}
+
 FailoverCoordinator::Stats FailoverCoordinator::stats() const {
   Stats s;
   s.queries = queries_.load(std::memory_order_relaxed);

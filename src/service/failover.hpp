@@ -33,7 +33,7 @@
 
 namespace remos::service {
 
-class FailoverCoordinator {
+class FailoverCoordinator : public FlowInfoEndpoint {
  public:
   struct Options {
     /// A replica trailing the primary by more than this many versions is
@@ -61,12 +61,15 @@ class FailoverCoordinator {
   /// the healthy-replica gauge, and edge-detects total degradation.
   void note_publish(std::uint64_t version, Seconds now);
 
-  /// Query entry points, callable from any thread.  Route to a healthy
-  /// replica; on failure retry the next, then fall back to any serving
-  /// replica (stale answers beat no answers); synthesize a structured
-  /// kError response when nothing is routable.
-  GraphResponse get_graph(GraphQuery query);
-  FlowInfoResponse flow_info(FlowInfoQuery query);
+  /// Query entry points (FlowInfoEndpoint), callable from any thread.
+  /// Route to a healthy replica; on failure retry the next, then fall
+  /// back to any serving replica (stale answers beat no answers);
+  /// synthesize a structured kError response when nothing is routable.
+  /// A batch routes (and reroutes) as one unit to one replica -- its
+  /// sub-queries always answer from a single consistent snapshot.
+  GraphResponse get_graph(GraphQuery query) override;
+  FlowInfoResponse flow_info(FlowInfoQuery query) override;
+  FlowBatchResponse flow_info_batch(FlowBatchInfoQuery query) override;
 
   /// In rotation: serving, synced, within lag and heartbeat budgets.
   bool healthy(std::size_t i) const;

@@ -40,6 +40,10 @@ QueryService::QueryService(Options options)
     throw InvalidArgument("QueryService: non-positive poll interval");
   if (options_.brownout_halflife < 0)
     throw InvalidArgument("QueryService: negative brownout half-life");
+  if (options_.coalesce_window.count() < 0)
+    throw InvalidArgument("QueryService: negative coalesce window");
+  if (options_.coalesce_window.count() > 0 && options_.coalesce_max_batch == 0)
+    throw InvalidArgument("QueryService: zero coalesce batch bound");
   if (options_.adaptive)
     aimd_ = std::make_unique<AimdController>(options_.aimd,
                                              options_.default_deadline);
@@ -47,6 +51,8 @@ QueryService::QueryService(Options options)
       ResultCache<GraphResponse>::Options{options_.cache_capacity});
   flow_cache_ = std::make_unique<ResultCache<FlowInfoResponse>>(
       ResultCache<FlowInfoResponse>::Options{options_.cache_capacity});
+  batch_cache_ = std::make_unique<ResultCache<FlowBatchResponse>>(
+      ResultCache<FlowBatchResponse>::Options{options_.cache_capacity});
 }
 
 QueryService::~QueryService() { stop(); }
@@ -467,6 +473,14 @@ GraphResponse QueryService::get_graph(GraphQuery query) {
 }
 
 FlowInfoResponse QueryService::flow_info(FlowInfoQuery query) {
+  // Traced queries keep the direct path: the span tree narrates THIS
+  // query's solve, which a shared batch solve cannot attribute.
+  if (options_.coalesce_window.count() > 0 && !query.trace)
+    return flow_info_coalesced(std::move(query));
+  return flow_info_direct(std::move(query));
+}
+
+FlowInfoResponse QueryService::flow_info_direct(FlowInfoQuery query) {
   const auto budget = query.deadline.value_or(options_.default_deadline);
   const Seconds slo = query.max_staleness.value_or(options_.staleness_slo);
   const std::string key = flow_cache_->enabled() && !query.trace
@@ -497,6 +511,284 @@ FlowInfoResponse QueryService::flow_info(FlowInfoQuery query) {
       [this, key] { return cache_brownout(flow_cache_.get(), key); });
 }
 
+FlowInfoResponse QueryService::flow_info_coalesced(FlowInfoQuery query) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_counter_.inc();
+  const auto enqueued = Clock::now();
+  const auto deadline =
+      enqueued + query.deadline.value_or(options_.default_deadline);
+  const Seconds slo = query.max_staleness.value_or(options_.staleness_slo);
+  const std::string key =
+      flow_cache_->enabled() ? canonical_key(query) : std::string{};
+
+  FlowInfoResponse r;
+  if (!key.empty()) {
+    if (auto hit =
+            cache_fresh_hit(flow_cache_.get(), key, slo, query.tenant)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_hit_counter_.inc();
+      count_outcome(hit->meta.status);
+      return std::move(*hit);
+    }
+  }
+
+  // Admission happens per query, BEFORE parking: every coalesced entry
+  // holds its own tenant slot for the duration, so weighted fairness and
+  // the shed/brownout ladder see exactly the load they would have seen
+  // without the window.
+  if (!admission_.try_acquire(query.tenant)) {
+    count_tenant(query.tenant, false);
+    if (shed_series_) shed_series_->append(model_now(), 1.0);
+    note_shed(true);
+    if (auto cached = cache_brownout(flow_cache_.get(), key)) {
+      r = std::move(*cached);
+      brownout_counter_.inc();
+    } else {
+      r.meta.status = QueryStatus::kOverloaded;
+    }
+    r.meta.latency =
+        std::chrono::microseconds(elapsed_us(enqueued, Clock::now()));
+    count_outcome(r.meta.status);
+    return r;
+  }
+  count_tenant(query.tenant, true);
+  if (shed_series_) shed_series_->append(model_now(), 0.0);
+  note_shed(false);
+
+  auto state = std::make_shared<Pending<FlowInfoResponse>>();
+  state->enqueued = enqueued;
+  state->deadline = deadline;
+  state->tenant = query.tenant;
+  std::future<FlowInfoResponse> fut = state->promise.get_future();
+
+  bool open_window = false;
+  {
+    std::lock_guard<std::mutex> lk(coalesce_mutex_);
+    if (!coalesce_scheduled_) {
+      coalesce_scheduled_ = true;
+      coalesce_first_ = enqueued;
+      open_window = true;
+    }
+    coalesce_buf_.push_back(
+        CoalesceEntry{std::move(query), slo, key, state});
+    if (coalesce_buf_.size() >= options_.coalesce_max_batch)
+      coalesce_cv_.notify_one();
+  }
+  if (open_window) {
+    // The first parker enqueues ONE flush job for the whole window.
+    bool stopped = false;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (stopping_) {
+        stopped = true;
+      } else {
+        queue_.emplace_back([this] { flush_coalesced(); });
+        queue_depth_gauge_.add(1.0);
+      }
+    }
+    if (stopped) {
+      // No worker will ever flush; fail the buffered entries now.
+      std::vector<CoalesceEntry> orphans;
+      {
+        std::lock_guard<std::mutex> lk(coalesce_mutex_);
+        orphans.swap(coalesce_buf_);
+        coalesce_scheduled_ = false;
+      }
+      for (CoalesceEntry& e : orphans) {
+        admission_.release(e.state->tenant);
+        FlowInfoResponse dead;
+        dead.meta.status = QueryStatus::kError;
+        dead.meta.error = "service stopped";
+        e.state->promise.set_value(std::move(dead));
+      }
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+
+  if (fut.wait_until(deadline) == std::future_status::ready) {
+    r = fut.get();
+    count_outcome(r.meta.status);
+    return r;
+  }
+  state->abandoned.store(true, std::memory_order_release);
+  r.meta.status = QueryStatus::kExpired;
+  r.meta.latency =
+      std::chrono::microseconds(elapsed_us(enqueued, Clock::now()));
+  count_outcome(r.meta.status);
+  return r;
+}
+
+void QueryService::flush_coalesced() {
+  std::vector<CoalesceEntry> bundle;
+  {
+    std::unique_lock<std::mutex> lk(coalesce_mutex_);
+    // Hold the window open from the FIRST arrival, flushing early once
+    // the bundle is full.  Later arrivals keep joining until the swap.
+    coalesce_cv_.wait_until(lk, coalesce_first_ + options_.coalesce_window,
+                            [this] {
+                              return coalesce_buf_.size() >=
+                                     options_.coalesce_max_batch;
+                            });
+    bundle.swap(coalesce_buf_);
+    coalesce_scheduled_ = false;
+  }
+  queue_depth_gauge_.add(-1.0);
+  if (bundle.empty()) return;
+
+  // Per-entry completion, mirroring run_job's bookkeeping: latency and
+  // slack histograms, admission release, AIMD feedback, promise.
+  auto finish = [this](CoalesceEntry& e, FlowInfoResponse&& resp) {
+    const auto done = Clock::now();
+    const std::uint64_t us = elapsed_us(e.state->enqueued, done);
+    resp.meta.latency = std::chrono::microseconds(us);
+    latency_.observe(static_cast<double>(us) * 1e-6);
+    if (obs::TimeSeries* ts =
+            latency_series_[static_cast<std::size_t>(resp.meta.status)])
+      ts->append(model_now(), static_cast<double>(us) * 1e-3);
+    deadline_slack_.observe(
+        std::max(0.0, to_seconds(e.state->deadline - done)));
+    admission_.release(e.state->tenant);
+    if (aimd_ &&
+        aimd_->on_complete(std::chrono::microseconds(us), admission_))
+      budget_gauge_.set(static_cast<double>(admission_.capacity()));
+    e.state->promise.set_value(std::move(resp));
+  };
+
+  // Per-query deadlines survive the window: entries whose caller already
+  // gave up (or whose deadline passed while parked) never reach the
+  // solve -- exactly the treatment run_job gives a lone query.
+  const auto now0 = Clock::now();
+  std::vector<CoalesceEntry> live;
+  live.reserve(bundle.size());
+  for (CoalesceEntry& e : bundle) {
+    if (e.state->abandoned.load(std::memory_order_acquire)) {
+      admission_.release(e.state->tenant);
+      continue;
+    }
+    if (now0 >= e.state->deadline) {
+      FlowInfoResponse expired;
+      expired.meta.status = QueryStatus::kExpired;
+      finish(e, std::move(expired));
+      continue;
+    }
+    live.push_back(std::move(e));
+  }
+  if (live.empty()) return;
+
+  // ONE snapshot, ONE modeler, ONE independent-mode batch solve for the
+  // whole bundle: answers are bit-for-bit what each lone call would have
+  // produced against this same snapshot.
+  SnapshotStore::Ptr snap = store_.current();
+  if (!snap) {
+    for (CoalesceEntry& e : live) {
+      FlowInfoResponse none;
+      none.meta.status = QueryStatus::kError;
+      none.meta.error = "no snapshot published yet";
+      finish(e, std::move(none));
+    }
+    return;
+  }
+  const Seconds now = model_now();
+  const Seconds age = std::max(0.0, now - snap->taken_at);
+  snapshot_age_gauge_.set(age);
+  if (staleness_series_) staleness_series_->append(now, age);
+
+  core::Modeler modeler(snap->model);
+  modeler.set_clock([now] { return now; });
+  modeler.set_obs(&modeler_obs_);
+
+  core::FlowBatchQuery batch;
+  batch.mode = core::FlowBatchQuery::Mode::kIndependent;
+  batch.queries.reserve(live.size());
+  for (const CoalesceEntry& e : live) batch.queries.push_back(e.query.query);
+
+  core::FlowBatchResult solved;
+  std::string batch_error;
+  try {
+    solved = modeler.flow_info_batch(batch);
+  } catch (const std::exception& ex) {
+    batch_error = ex.what();
+  } catch (...) {
+    batch_error = "unknown error";
+  }
+  coalesced_batches_.fetch_add(1, std::memory_order_relaxed);
+  coalesced_queries_.fetch_add(live.size(), std::memory_order_relaxed);
+
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    CoalesceEntry& e = live[i];
+    FlowInfoResponse resp;
+    resp.meta.snapshot_version = snap->version;
+    resp.meta.snapshot_age = age;
+    if (!batch_error.empty()) {
+      resp.meta.status = QueryStatus::kError;
+      resp.meta.error = batch_error;
+    } else if (!solved.errors[i].empty()) {
+      resp.meta.status = QueryStatus::kError;
+      resp.meta.error = solved.errors[i];
+    } else {
+      resp.result = std::move(solved.results[i]);
+      resp.meta.status = age > e.slo ? QueryStatus::kStale
+                                     : QueryStatus::kAnswered;
+      cache_store(flow_cache_.get(), e.cache_key, resp);
+    }
+    finish(e, std::move(resp));
+  }
+}
+
+FlowBatchResponse QueryService::flow_info_batch(FlowBatchInfoQuery query) {
+  batch_queries_.fetch_add(1, std::memory_order_relaxed);
+  const auto budget = query.deadline.value_or(options_.default_deadline);
+  const Seconds slo = query.max_staleness.value_or(options_.staleness_slo);
+  const std::string key = batch_cache_->enabled() && !query.trace
+                              ? canonical_key(query)
+                              : std::string{};
+  if (!key.empty()) {
+    if (auto hit =
+            cache_fresh_hit(batch_cache_.get(), key, slo, query.tenant)) {
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      submitted_counter_.inc();
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_hit_counter_.inc();
+      count_outcome(hit->meta.status);
+      return std::move(*hit);
+    }
+  }
+  // The whole batch is ONE admission unit: one tenant slot, one queue
+  // entry, one solve -- that is the amortization the batch API sells.
+  return submit<FlowBatchResponse>(
+      budget, query.tenant,
+      [this, q = std::move(query), slo, key](Clock::time_point enqueued) {
+        FlowBatchResponse r = answer<FlowBatchResponse>(
+            slo, q.trace, enqueued,
+            [&q](const core::Modeler& m, FlowBatchResponse& out) {
+              core::FlowBatchResult br = m.flow_info_batch(q.batch);
+              out.results = std::move(br.results);
+              out.errors = std::move(br.errors);
+            });
+        cache_store(batch_cache_.get(), key, r);
+        // Independent-mode sub-answers are exactly what the lone query
+        // would have produced, so warm the single-query fingerprints too:
+        // a later flow_info for any sub-query is an O(1) fresh hit.
+        if (r.meta.ok() && !q.trace &&
+            q.batch.mode == core::FlowBatchQuery::Mode::kIndependent &&
+            flow_cache_->enabled()) {
+          for (std::size_t i = 0; i < q.batch.queries.size(); ++i) {
+            if (!r.errors[i].empty()) continue;
+            FlowInfoQuery single;
+            single.query = q.batch.queries[i];
+            FlowInfoResponse sr;
+            sr.meta = r.meta;
+            sr.meta.trace = obs::SpanTree{};
+            sr.result = r.results[i];
+            cache_store(flow_cache_.get(), canonical_key(single), sr);
+          }
+        }
+        return r;
+      },
+      [this, key] { return cache_brownout(batch_cache_.get(), key); });
+}
+
 ServiceStats QueryService::stats() const {
   ServiceStats s;
   s.submitted = submitted_.load(std::memory_order_relaxed);
@@ -509,6 +801,9 @@ ServiceStats QueryService::stats() const {
   s.polls = polls_.load(std::memory_order_relaxed);
   s.snapshot_version = store_.version();
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.batch_queries = batch_queries_.load(std::memory_order_relaxed);
+  s.coalesced_batches = coalesced_batches_.load(std::memory_order_relaxed);
+  s.coalesced_queries = coalesced_queries_.load(std::memory_order_relaxed);
   s.admission_budget = admission_.capacity();
   s.in_flight_high_water = admission_.high_water();
   s.p50_us = static_cast<std::uint64_t>(latency_.quantile(0.50) * 1e6);

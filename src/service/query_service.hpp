@@ -50,6 +50,7 @@
 #include "core/logical.hpp"
 #include "core/modeler.hpp"
 #include "obs/obs.hpp"
+#include "service/endpoint.hpp"
 #include "service/snapshot_store.hpp"
 #include "service/tenant_admission.hpp"
 
@@ -58,86 +59,10 @@ namespace remos::service {
 template <typename Response>
 class ResultCache;  // service/result_cache.hpp
 
-/// Outcome of one query, as seen by the caller (shared vocabulary; see
-/// obs/status.hpp):
-///   kAnswered    served from a snapshot within the staleness budget
-///   kStale       served, but the freshest snapshot exceeded the budget
-///   kDegraded    brownout: the tenant's slice was full, so the last good
-///                cached answer is served with accuracy discounted
-///   kOverloaded  shed at admission: the bounded queue was full
-///   kExpired     the deadline passed before a worker could answer
-///   kError       malformed query (structured; the service stays up)
-using QueryStatus = obs::QueryStatus;
-
-inline const char* to_string(QueryStatus status) {
-  return obs::to_string(status);
-}
-
-struct GraphQuery {
-  std::vector<std::string> nodes;
-  core::Timeframe timeframe = core::Timeframe::current();
-  core::LogicalOptions options;
-  /// Wall-clock answer budget; service default when unset.
-  std::optional<std::chrono::microseconds> deadline;
-  /// Model-clock staleness budget; service SLO when unset.
-  std::optional<Seconds> max_staleness;
-  /// Collect a per-query span tree into ResponseMeta::trace (admission,
-  /// snapshot pickup, route resolution, solve, ...).
-  bool trace = false;
-  /// Tenant id from QueryService::register_tenant; unregistered ids fall
-  /// back to the default tenant.
-  int tenant = TenantAdmission::kDefaultTenant;
-};
-
-struct FlowInfoQuery {
-  core::FlowQuery query;
-  std::optional<std::chrono::microseconds> deadline;
-  std::optional<Seconds> max_staleness;
-  /// Collect a per-query span tree into ResponseMeta::trace.
-  bool trace = false;
-  /// Tenant id from QueryService::register_tenant.
-  int tenant = TenantAdmission::kDefaultTenant;
-};
-
-struct ResponseMeta {
-  QueryStatus status = QueryStatus::kError;
-  /// Version of the snapshot that answered (0 when none was consulted).
-  std::uint64_t snapshot_version = 0;
-  /// Age of that snapshot on the model clock at answer time.
-  Seconds snapshot_age = 0;
-  /// Wall-clock time from submission to response.
-  std::chrono::microseconds latency{0};
-  std::string error;
-  /// Span tree for this query; non-empty only when the query asked for
-  /// tracing and reached a worker.
-  obs::SpanTree trace;
-  /// True when the payload came from the result cache (a fresh O(1) hit,
-  /// or -- when status is kDegraded -- a brownout answer).
-  bool from_cache = false;
-
-  /// True when a payload was produced (kAnswered, kStale, or a brownout
-  /// kDegraded -- the latter with accuracy explicitly discounted).
-  bool ok() const {
-    return status == QueryStatus::kAnswered ||
-           status == QueryStatus::kStale ||
-           status == QueryStatus::kDegraded;
-  }
-};
-
-struct GraphResponse {
-  ResponseMeta meta;
-  core::NetworkGraph graph;  // valid when meta.ok()
-  /// Structured topology outcome (core::GraphResult): a query naming
-  /// unknown nodes is still kAnswered/kStale at the service level, with
-  /// graph_status kPartial/kUnresolved and the names listed here.
-  obs::GraphStatus graph_status = obs::GraphStatus::kOk;
-  std::vector<std::string> unknown_nodes;
-};
-
-struct FlowInfoResponse {
-  ResponseMeta meta;
-  core::FlowQueryResult result;  // valid when meta.ok()
-};
+// The query/response vocabulary (QueryStatus, GraphQuery, FlowInfoQuery,
+// FlowBatchInfoQuery, ResponseMeta, GraphResponse, FlowInfoResponse,
+// FlowBatchResponse) and the FlowInfoEndpoint interface live in
+// service/endpoint.hpp, shared by every callable surface.
 
 /// Monitoring snapshot.  submitted == answered + stale + degraded + shed
 /// + expired + errors once the service is idle (counts are client-visible
@@ -157,6 +82,14 @@ struct ServiceStats {
   /// Fresh result-cache hits (exact current-version match; answered
   /// without consuming an admission slot or a worker).
   std::uint64_t cache_hits = 0;
+  /// Explicit flow_info_batch calls answered (each counted once however
+  /// many sub-queries it carried).
+  std::uint64_t batch_queries = 0;
+  /// Coalesced solves flushed, and single flow_info calls folded into
+  /// them.  coalesced_queries / coalesced_batches is the achieved mean
+  /// batch size of the micro-batching window.
+  std::uint64_t coalesced_batches = 0;
+  std::uint64_t coalesced_queries = 0;
   /// Current global admission budget (queue_capacity unless the AIMD
   /// controller has moved it).
   std::size_t admission_budget = 0;
@@ -168,7 +101,7 @@ struct ServiceStats {
   std::uint64_t p99_us = 0;
 };
 
-class QueryService {
+class QueryService : public FlowInfoEndpoint {
  public:
   struct Options {
     /// Worker threads answering queries.
@@ -202,11 +135,20 @@ class QueryService {
     /// overload is discounted by 2^(-age / halflife) (model-clock age of
     /// its snapshot).  0 serves brownout answers undiscounted.
     Seconds brownout_halflife = 30.0;
+    /// Micro-batching window for single flow_info calls: an admitted
+    /// query waits up to this long for concurrently arriving queries,
+    /// then the whole bundle is answered as one independent-mode batch
+    /// solve against ONE snapshot.  Per-query deadlines, tenant slots and
+    /// cache fingerprints are preserved; traced queries bypass the
+    /// window.  0 disables coalescing (the exact pre-batch service).
+    std::chrono::microseconds coalesce_window{0};
+    /// The window flushes early once this many queries are buffered.
+    std::size_t coalesce_max_batch = 32;
   };
 
   explicit QueryService(Options options);
   QueryService() : QueryService(Options{}) {}
-  ~QueryService();
+  ~QueryService() override;
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
@@ -242,10 +184,18 @@ class QueryService {
   /// before set_obs so their metric handles resolve.
   int register_tenant(const std::string& name, double weight);
 
-  /// Synchronous query entry points, callable from any thread.  Always
-  /// return by the query's deadline; never throw.
-  GraphResponse get_graph(GraphQuery query);
-  FlowInfoResponse flow_info(FlowInfoQuery query);
+  /// Synchronous query entry points (FlowInfoEndpoint), callable from
+  /// any thread.  Always return by the query's deadline; never throw.
+  GraphResponse get_graph(GraphQuery query) override;
+  /// With Options::coalesce_window set, untraced flow_info calls are
+  /// buffered briefly and answered as one shared batch solve; the
+  /// response is indistinguishable from a lone call against the same
+  /// snapshot (independent-mode semantics are bit-for-bit).
+  FlowInfoResponse flow_info(FlowInfoQuery query) override;
+  /// Explicit batch: one admission slot, one snapshot, one solve for the
+  /// whole batch.  Independent-mode sub-results additionally warm the
+  /// single-query result cache under their own fingerprints.
+  FlowBatchResponse flow_info_batch(FlowBatchInfoQuery query) override;
 
   const SnapshotStore& snapshots() const { return store_; }
   const TenantAdmission& admission() const { return admission_; }
@@ -259,6 +209,9 @@ class QueryService {
   }
   const ResultCache<FlowInfoResponse>* flow_cache() const {
     return flow_cache_.get();
+  }
+  const ResultCache<FlowBatchResponse>* batch_cache() const {
+    return batch_cache_.get();
   }
   const Options& options() const { return options_; }
   ServiceStats stats() const;
@@ -306,6 +259,26 @@ class QueryService {
   void count_tenant(int tenant, bool admitted);
   void note_shed(bool shed);
 
+  /// One single flow_info call parked in the micro-batching window.  The
+  /// entry already holds its tenant's admission slot; the flush job
+  /// answers (or expires) it and releases the slot, exactly as run_job
+  /// would have for a lone query.
+  struct CoalesceEntry {
+    FlowInfoQuery query;
+    Seconds slo = 0;
+    std::string cache_key;  // empty when caching is off or query traced
+    std::shared_ptr<Pending<FlowInfoResponse>> state;
+  };
+
+  /// The pre-coalescing flow_info path (admission -> queue -> worker).
+  FlowInfoResponse flow_info_direct(FlowInfoQuery query);
+  /// Parks the query in the window; the first parker enqueues one flush
+  /// job that answers the whole bundle with a single batch solve.
+  FlowInfoResponse flow_info_coalesced(FlowInfoQuery query);
+  /// Worker-side flush: waits out the window, swaps the buffer, answers
+  /// every live entry from one snapshot via Modeler::flow_info_batch.
+  void flush_coalesced();
+
   void worker_loop();
   void poller_loop(std::function<void()> poll_step);
 
@@ -315,7 +288,15 @@ class QueryService {
   std::unique_ptr<AimdController> aimd_;
   std::unique_ptr<ResultCache<GraphResponse>> graph_cache_;
   std::unique_ptr<ResultCache<FlowInfoResponse>> flow_cache_;
+  std::unique_ptr<ResultCache<FlowBatchResponse>> batch_cache_;
   std::atomic<double> model_now_{0.0};
+
+  // Micro-batching window (Options::coalesce_window > 0 only).
+  std::mutex coalesce_mutex_;  // guards the three fields below
+  std::condition_variable coalesce_cv_;  // wakes the flush at max_batch
+  std::vector<CoalesceEntry> coalesce_buf_;
+  bool coalesce_scheduled_ = false;  // a flush job owns the open window
+  std::chrono::steady_clock::time_point coalesce_first_{};
 
   std::mutex mutex_;  // guards queue_, stopping_, started_
   std::condition_variable queue_cv_;
@@ -335,6 +316,9 @@ class QueryService {
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> polls_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> batch_queries_{0};
+  std::atomic<std::uint64_t> coalesced_batches_{0};
+  std::atomic<std::uint64_t> coalesced_queries_{0};
 
   // Observability (no-op sinks until set_obs).
   obs::FlightRecorder* recorder_ = nullptr;

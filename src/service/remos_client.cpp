@@ -72,6 +72,8 @@ Response RemosClient::run(Query query) {
     attempts_.fetch_add(1, std::memory_order_relaxed);
     if constexpr (std::is_same_v<Response, GraphResponse>)
       r = service_.get_graph(std::move(q));
+    else if constexpr (std::is_same_v<Response, FlowBatchResponse>)
+      r = service_.flow_info_batch(std::move(q));
     else
       r = service_.flow_info(std::move(q));
 
@@ -99,6 +101,10 @@ GraphResponse RemosClient::get_graph(GraphQuery query) {
 
 FlowInfoResponse RemosClient::flow_info(FlowInfoQuery query) {
   return run<FlowInfoResponse>(std::move(query));
+}
+
+FlowBatchResponse RemosClient::flow_info_batch(FlowBatchInfoQuery query) {
+  return run<FlowBatchResponse>(std::move(query));
 }
 
 RemosClient::Stats RemosClient::stats() const {

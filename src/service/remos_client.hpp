@@ -36,7 +36,7 @@
 
 namespace remos::service {
 
-class RemosClient {
+class RemosClient : public FlowInfoEndpoint {
  public:
   struct Options {
     /// Tenant id stamped on every query this client issues (overrides
@@ -71,11 +71,13 @@ class RemosClient {
 
   RemosClient(QueryService& service, Options options);
 
-  /// Synchronous entry points mirroring QueryService; the query's tenant
-  /// is overwritten with this client's, and its deadline (or the service
-  /// default) bounds all attempts together.
-  GraphResponse get_graph(GraphQuery query);
-  FlowInfoResponse flow_info(FlowInfoQuery query);
+  /// Synchronous entry points (FlowInfoEndpoint); the query's tenant is
+  /// overwritten with this client's, and its deadline (or the service
+  /// default) bounds all attempts together.  A batch retries as a unit:
+  /// it is one admission slot server-side, so one retry token covers it.
+  GraphResponse get_graph(GraphQuery query) override;
+  FlowInfoResponse flow_info(FlowInfoQuery query) override;
+  FlowBatchResponse flow_info_batch(FlowBatchInfoQuery query) override;
 
   Stats stats() const;
   int tenant() const { return options_.tenant; }

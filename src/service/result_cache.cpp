@@ -22,6 +22,19 @@ void append(std::ostringstream& out, const core::MulticastRequest& m) {
   out << '@' << m.requested << ';';
 }
 
+void append(std::ostringstream& out, const core::FlowQuery& q) {
+  out << "x:";
+  for (const core::FlowRequest& f : q.fixed) append(out, f);
+  out << "|m:";
+  for (const core::MulticastRequest& m : q.multicast) append(out, m);
+  out << "|v:";
+  for (const core::FlowRequest& f : q.variable) append(out, f);
+  out << "|i:";
+  if (q.independent) append(out, *q.independent);
+  out << '|';
+  append(out, q.timeframe);
+}
+
 double clamped(double accuracy, double factor) {
   return std::clamp(accuracy * std::clamp(factor, 0.0, 1.0), 0.0, 1.0);
 }
@@ -48,17 +61,24 @@ std::string canonical_key(const GraphQuery& query) {
 
 std::string canonical_key(const FlowInfoQuery& query) {
   std::ostringstream out;
-  out << "f|x:";
-  for (const core::FlowRequest& f : query.query.fixed) append(out, f);
-  out << "|m:";
-  for (const core::MulticastRequest& m : query.query.multicast)
-    append(out, m);
-  out << "|v:";
-  for (const core::FlowRequest& f : query.query.variable) append(out, f);
-  out << "|i:";
-  if (query.query.independent) append(out, *query.query.independent);
-  out << '|';
-  append(out, query.query.timeframe);
+  out << "f|";
+  append(out, query.query);
+  return out.str();
+}
+
+std::string canonical_key(const FlowBatchInfoQuery& query) {
+  // Sub-query order is preserved: in shared mode the combined fixed-flow
+  // admission order depends on it, and results are index-aligned either
+  // way.
+  std::ostringstream out;
+  out << "b|" << (query.batch.mode == core::FlowBatchQuery::Mode::kShared
+                      ? "s"
+                      : "i");
+  for (const core::FlowQuery& q : query.batch.queries) {
+    out << "|[";
+    append(out, q);
+    out << ']';
+  }
   return out.str();
 }
 
@@ -73,18 +93,31 @@ void discount_accuracy(GraphResponse& response, double factor) {
     discount(node.internal_bw, factor);
 }
 
-void discount_accuracy(FlowInfoResponse& response, double factor) {
+namespace {
+
+void discount_result(core::FlowQueryResult& result, double factor) {
   auto each = [factor](core::FlowResult& r) {
     discount(r.bandwidth, factor);
     discount(r.latency, factor);
   };
-  for (core::FlowResult& r : response.result.fixed) each(r);
-  for (core::MulticastResult& m : response.result.multicast) {
+  for (core::FlowResult& r : result.fixed) each(r);
+  for (core::MulticastResult& m : result.multicast) {
     discount(m.bandwidth, factor);
     discount(m.latency, factor);
   }
-  for (core::FlowResult& r : response.result.variable) each(r);
-  if (response.result.independent) each(*response.result.independent);
+  for (core::FlowResult& r : result.variable) each(r);
+  if (result.independent) each(*result.independent);
+}
+
+}  // namespace
+
+void discount_accuracy(FlowInfoResponse& response, double factor) {
+  discount_result(response.result, factor);
+}
+
+void discount_accuracy(FlowBatchResponse& response, double factor) {
+  for (core::FlowQueryResult& r : response.results)
+    discount_result(r, factor);
 }
 
 }  // namespace remos::service

@@ -49,12 +49,18 @@ std::string canonical_key(const GraphQuery& query);
 /// different questions when capacity is tight.
 std::string canonical_key(const FlowInfoQuery& query);
 
+/// Canonical fingerprint of a batch: sharing mode plus the per-sub-query
+/// fingerprints in batch order (order matters in shared mode, and the
+/// index-aligned results make it part of the question either way).
+std::string canonical_key(const FlowBatchInfoQuery& query);
+
 /// Multiplies the accuracy of every *dynamic* Measurement in the payload
 /// by `factor` (clamped to [0,1]): link usage and node forwarding
 /// estimates for graphs, bandwidth/latency estimates for flow results.
 /// Static physical capacities keep accuracy 1 -- age does not erode them.
 void discount_accuracy(GraphResponse& response, double factor);
 void discount_accuracy(FlowInfoResponse& response, double factor);
+void discount_accuracy(FlowBatchResponse& response, double factor);
 
 template <typename Response>
 class ResultCache {

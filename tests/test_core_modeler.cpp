@@ -215,10 +215,10 @@ TEST_F(ModelerOnTestbed, FlowQueryValidation) {
 }
 
 TEST_F(ModelerOnTestbed, PaperShapedApiWrappers) {
-  NetworkGraph graph;
-  remos_get_graph(harness_.modeler(), {"m-4", "m-5", "m-6"}, graph,
-                  Timeframe::current());
-  EXPECT_EQ(graph.node_count(), 4u);  // 3 hosts + timberline
+  const GraphResult topo = remos_get_graph(
+      harness_.modeler(), {"m-4", "m-5", "m-6"}, Timeframe::current());
+  EXPECT_TRUE(topo.ok());
+  EXPECT_EQ(topo.graph.node_count(), 4u);  // 3 hosts + timberline
   const FlowQueryResult r = remos_flow_info(
       harness_.modeler(), {FlowRequest{"m-4", "m-5", mbps(10)}},
       {FlowRequest{"m-4", "m-6", 2}}, FlowRequest{"m-5", "m-6", 0},
